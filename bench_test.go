@@ -1,0 +1,229 @@
+// Benchmarks mapping one-to-one onto the paper's tables and figures.
+// Each benchmark regenerates the corresponding figure's data (in Quick
+// mode with a reduced grid) and reports paper-relevant metrics alongside
+// ns/op. Run them with:
+//
+//	go test -bench=. -benchmem            # everything
+//	go test -bench=BenchmarkFig6 -benchtime=1x
+//
+// The correspondence to the paper:
+//
+//	BenchmarkFig2_*  — Fig. 2: RMSD vs No-DVFS latency/delay anomaly
+//	BenchmarkFig4_*  — Fig. 4: frequency and delay, three policies
+//	BenchmarkFig5_*  — Fig. 5: 28-nm F(Vdd) curve
+//	BenchmarkFig6_*  — Fig. 6: network power, three policies
+//	BenchmarkFig7_*  — Fig. 7: four synthetic patterns
+//	BenchmarkFig8_*  — Fig. 8: sensitivity (VCs, buffers, packet, mesh)
+//	BenchmarkFig10_* — Fig. 10: H.264 and VCE multimedia workloads
+//	BenchmarkPI*     — Sec. IV: PI transient/stability
+//	BenchmarkSummary — Sec. I/VII headline numbers
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/sweep"
+	"repro/internal/volt"
+)
+
+// benchOpts returns reduced-size options so one benchmark iteration stays
+// in the seconds range while exercising the full figure pipeline.
+func benchOpts() sweep.Options { return sweep.Options{Quick: true, Points: 3, Seed: 1} }
+
+// benchBundle caches the baseline three-policy sweep shared by the
+// Fig. 2/4/6/summary benchmarks (the paper derives them from one study).
+var benchBundle *sweep.Bundle
+
+func getBenchBundle(b *testing.B) *sweep.Bundle {
+	b.Helper()
+	if benchBundle == nil {
+		bundle, err := sweep.BaselineBundle(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchBundle = bundle
+	}
+	return benchBundle
+}
+
+func reportDelayRatio(b *testing.B, bundle *sweep.Bundle) {
+	b.Helper()
+	rm := bundle.Comparison.Sweeps[core.RMSD].Points
+	dm := bundle.Comparison.Sweeps[core.DMSD].Points
+	mid := len(rm) / 2
+	if len(dm) > mid && dm[mid].Result.AvgDelayNs > 0 {
+		b.ReportMetric(rm[mid].Result.AvgDelayNs/dm[mid].Result.AvgDelayNs, "delay-ratio-rmsd/dmsd")
+	}
+}
+
+func BenchmarkFig2_RMSDAnomaly(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bundle := getBenchBundle(b)
+		tables := sweep.Fig2(bundle)
+		if len(tables) != 2 {
+			b.Fatal("fig2 incomplete")
+		}
+	}
+	bundle := getBenchBundle(b)
+	no := bundle.Comparison.Sweeps[core.NoDVFS].Points
+	rm := bundle.Comparison.Sweeps[core.RMSD].Points
+	b.ReportMetric(rm[0].Result.AvgDelayNs/no[0].Result.AvgDelayNs, "rmsd/nodvfs-delay@low")
+}
+
+func BenchmarkFig4_FrequencyAndDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bundle := getBenchBundle(b)
+		if len(sweep.Fig4(bundle)) != 2 {
+			b.Fatal("fig4 incomplete")
+		}
+	}
+	reportDelayRatio(b, getBenchBundle(b))
+}
+
+func BenchmarkFig5_VFCurve(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tables := sweep.Fig5(benchOpts())
+		if len(tables) != 1 || len(tables[0].Rows) < 4 {
+			b.Fatal("fig5 incomplete")
+		}
+	}
+	m := volt.New()
+	b.ReportMetric(m.Alpha(), "alpha")
+	b.ReportMetric(m.VoltageFor(666e6), "vdd@666MHz")
+}
+
+func BenchmarkFig6_Power(b *testing.B) {
+	var tables []sweep.Table
+	for i := 0; i < b.N; i++ {
+		tables = sweep.Fig6(getBenchBundle(b))
+		if len(tables) != 1 {
+			b.Fatal("fig6 incomplete")
+		}
+	}
+	// Report the paper's annotated ratio (≈2.2x) at the mid-grid point.
+	bundle := getBenchBundle(b)
+	no := bundle.Comparison.Sweeps[core.NoDVFS].Points
+	rm := bundle.Comparison.Sweeps[core.RMSD].Points
+	mid := len(no) / 2
+	if rm[mid].Result.AvgPowerMW > 0 {
+		b.ReportMetric(no[mid].Result.AvgPowerMW/rm[mid].Result.AvgPowerMW, "power-ratio-nodvfs/rmsd")
+	}
+}
+
+func benchFig7Pattern(b *testing.B, pattern string) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		s := core.Scenario{Noc: noc.DefaultConfig(), Pattern: pattern, Quick: true, Seed: o.Seed}
+		cal, err := core.Calibrate(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		grid := core.LoadGrid(0.8*cal.SaturationRate, 2)
+		cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm := cmp.Sweeps[core.RMSD].Points
+		dm := cmp.Sweeps[core.DMSD].Points
+		last := len(rm) - 1
+		if dm[last].Result.AvgDelayNs > 0 {
+			b.ReportMetric(rm[last].Result.AvgDelayNs/dm[last].Result.AvgDelayNs, "delay-ratio")
+		}
+	}
+}
+
+func BenchmarkFig7_Tornado(b *testing.B)       { benchFig7Pattern(b, "tornado") }
+func BenchmarkFig7_BitComplement(b *testing.B) { benchFig7Pattern(b, "bitcomp") }
+func BenchmarkFig7_Transpose(b *testing.B)     { benchFig7Pattern(b, "transpose") }
+func BenchmarkFig7_Neighbor(b *testing.B)      { benchFig7Pattern(b, "neighbor") }
+
+func benchFig8Variant(b *testing.B, mutate func(*noc.Config)) {
+	for i := 0; i < b.N; i++ {
+		s := core.Scenario{Noc: noc.DefaultConfig(), Pattern: "uniform", Quick: true, Seed: 1}
+		mutate(&s.Noc)
+		cal, err := core.Calibrate(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cmp, err := core.ComparePolicies(s, []float64{0.5 * cal.SaturationRate}, core.AllPolicies(), cal)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rm := cmp.Sweeps[core.RMSD].Points[0].Result
+		dm := cmp.Sweeps[core.DMSD].Points[0].Result
+		if rm.AvgPowerMW > 0 {
+			b.ReportMetric(dm.AvgPowerMW/rm.AvgPowerMW, "power-ratio-dmsd/rmsd")
+		}
+	}
+}
+
+func BenchmarkFig8_VC2(b *testing.B)   { benchFig8Variant(b, func(c *noc.Config) { c.VCs = 2 }) }
+func BenchmarkFig8_VC4(b *testing.B)   { benchFig8Variant(b, func(c *noc.Config) { c.VCs = 4 }) }
+func BenchmarkFig8_Buf8(b *testing.B)  { benchFig8Variant(b, func(c *noc.Config) { c.BufDepth = 8 }) }
+func BenchmarkFig8_Buf16(b *testing.B) { benchFig8Variant(b, func(c *noc.Config) { c.BufDepth = 16 }) }
+func BenchmarkFig8_Pkt10(b *testing.B) {
+	benchFig8Variant(b, func(c *noc.Config) { c.PacketSize = 10 })
+}
+func BenchmarkFig8_Pkt15(b *testing.B) {
+	benchFig8Variant(b, func(c *noc.Config) { c.PacketSize = 15 })
+}
+func BenchmarkFig8_Mesh4x4(b *testing.B) {
+	benchFig8Variant(b, func(c *noc.Config) { c.Width, c.Height = 4, 4 })
+}
+func BenchmarkFig8_Mesh8x8(b *testing.B) {
+	benchFig8Variant(b, func(c *noc.Config) { c.Width, c.Height = 8, 8 })
+}
+
+func benchFig10App(b *testing.B, name string) {
+	o := benchOpts()
+	o.Points = 2
+	for i := 0; i < b.N; i++ {
+		tables, err := sweep.Fig10(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := false
+		for _, t := range tables {
+			if t.ID == "fig10_"+name+"_delay" {
+				found = true
+			}
+		}
+		if !found {
+			b.Fatalf("fig10 missing %s", name)
+		}
+	}
+}
+
+func BenchmarkFig10_Multimedia(b *testing.B) { benchFig10App(b, "h264") }
+
+func BenchmarkPIConvergence(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		tables, err := sweep.PIStep(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) != 1 || len(tables[0].Rows) < 5 {
+			b.Fatal("pi transient incomplete")
+		}
+		// Report how close the final window delay sits to the target.
+		rows := tables[0].Rows
+		b.ReportMetric(rows[len(rows)-1][1], "final-freq-ghz")
+	}
+}
+
+func BenchmarkSummary_Headline(b *testing.B) {
+	var tables []sweep.Table
+	for i := 0; i < b.N; i++ {
+		tables = sweep.Summary(getBenchBundle(b))
+		if len(tables) != 1 {
+			b.Fatal("summary incomplete")
+		}
+	}
+	rows := tables[0].Rows
+	mid := len(rows) / 2
+	b.ReportMetric(rows[mid][1], "rmsd-power-saving-pct")
+	b.ReportMetric(rows[mid][4], "rmsd/dmsd-delay-ratio")
+}

@@ -1,0 +1,66 @@
+// Command capacity reports, for a network configuration and traffic
+// pattern, the theoretical channel-load capacity and the empirically
+// measured saturation rate, plus the RMSD calibration derived from them.
+//
+//	capacity -pattern uniform
+//	capacity -pattern tornado -width 8 -height 8 -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/traffic"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("capacity: ")
+
+	var (
+		width   = flag.Int("width", 5, "mesh width")
+		height  = flag.Int("height", 5, "mesh height")
+		vcs     = flag.Int("vcs", 8, "virtual channels per port")
+		bufs    = flag.Int("buffers", 4, "flit buffers per VC")
+		pkt     = flag.Int("packet", 20, "packet size in flits")
+		routing = flag.String("routing", "xy", "routing algorithm")
+		pattern = flag.String("pattern", "uniform", "traffic pattern")
+		seed    = flag.Int64("seed", 1, "random seed")
+		quick   = flag.Bool("quick", false, "shorter simulations")
+	)
+	flag.Parse()
+
+	ralgo, err := noc.ParseRouting(*routing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := noc.Config{
+		Width: *width, Height: *height, VCs: *vcs,
+		BufDepth: *bufs, PacketSize: *pkt, Routing: ralgo,
+	}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	pat, err := traffic.ByName(*pattern, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	theo := noc.TheoreticalCapacity(cfg, traffic.Matrix(pat, cfg))
+	fmt.Printf("configuration:         %dx%d mesh, %d VCs, %d buf/VC, %d-flit packets, %s routing\n",
+		cfg.Width, cfg.Height, cfg.VCs, cfg.BufDepth, cfg.PacketSize, cfg.Routing)
+	fmt.Printf("pattern:               %s\n", pat.Name())
+	fmt.Printf("theoretical capacity:  %.4f flits/node/cycle (1 / max channel load)\n", theo)
+
+	s := core.Scenario{Noc: cfg, Pattern: *pattern, Seed: *seed, Quick: *quick}
+	cal, err := core.Calibrate(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured saturation:   %.4f flits/node/cycle\n", cal.SaturationRate)
+	fmt.Printf("allocator efficiency:  %.0f%% of theoretical\n", 100*cal.SaturationRate/theo)
+	fmt.Printf("RMSD lambda-max:       %.4f (90%% of saturation)\n", cal.LambdaMax)
+	fmt.Printf("DMSD target delay:     %.1f ns (delay at lambda-max, full speed)\n", cal.TargetDelayNs)
+}

@@ -1,0 +1,127 @@
+// Command figures regenerates the paper's tables and figures as numeric
+// tables on stdout (or CSV files with -csv).
+//
+//	figures -fig all            # everything (takes several minutes)
+//	figures -fig 2,4,6 -quick   # the baseline trio with short windows
+//	figures -fig 5              # the voltage-frequency curve (instant)
+//	figures -fig 10 -points 6   # multimedia panels with 6 speed samples
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/sweep"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+
+	var (
+		figs   = flag.String("fig", "all", "comma-separated figure list: 2,4,5,6,7,8,10,pi,summary,ablation or 'all'")
+		quick  = flag.Bool("quick", false, "shorter windows and smaller grids")
+		points = flag.Int("points", 0, "samples per curve (0 = default)")
+		seed   = flag.Int64("seed", 1, "random seed")
+		csvDir = flag.String("csv", "", "also write one CSV per table into this directory")
+	)
+	flag.Parse()
+
+	o := sweep.Options{Quick: *quick, Points: *points, Seed: *seed}
+	want := map[string]bool{}
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	needBundle := all || want["2"] || want["4"] || want["6"] || want["summary"]
+
+	var bundle *sweep.Bundle
+	if needBundle {
+		log.Println("running baseline three-policy sweep (figs 2/4/6/summary)...")
+		var err error
+		bundle, err = sweep.BaselineBundle(o)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var tables []sweep.Table
+	add := func(ts []sweep.Table, err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		tables = append(tables, ts...)
+	}
+	if all || want["2"] {
+		add(sweep.Fig2(bundle), nil)
+	}
+	if all || want["4"] {
+		add(sweep.Fig4(bundle), nil)
+	}
+	if all || want["5"] {
+		add(sweep.Fig5(o), nil)
+	}
+	if all || want["6"] {
+		add(sweep.Fig6(bundle), nil)
+	}
+	if all || want["7"] {
+		log.Println("running synthetic-pattern sweeps (fig 7)...")
+		add(sweep.Fig7(o))
+	}
+	if all || want["8"] {
+		log.Println("running sensitivity sweeps (fig 8)...")
+		add(sweep.Fig8(o))
+	}
+	if all || want["10"] {
+		log.Println("running multimedia sweeps (fig 10)...")
+		add(sweep.Fig10(o))
+	}
+	if all || want["pi"] {
+		log.Println("running PI transient (pi)...")
+		add(sweep.PIStep(o))
+	}
+	if all || want["summary"] {
+		add(sweep.Summary(bundle), nil)
+	}
+	if all || want["ablation"] {
+		log.Println("running ablations (control period, gains, levels, routing, breakdown)...")
+		add(sweep.AblationControlPeriod(o))
+		add(sweep.AblationGains(o))
+		add(sweep.AblationDiscreteLevels(o))
+		add(sweep.AblationRouting(o))
+		add(sweep.PowerBreakdown(o))
+	}
+	if len(tables) == 0 {
+		log.Fatalf("nothing selected by -fig %q", *figs)
+	}
+
+	for i := range tables {
+		if err := tables[i].Format(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i := range tables {
+			path := filepath.Join(*csvDir, tables[i].ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := tables[i].CSV(f); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d CSV files to %s\n", len(tables), *csvDir)
+	}
+}

@@ -1,0 +1,168 @@
+// Command nocsim runs a single NoC simulation at one operating point and
+// prints the measured latency, delay, throughput, frequency and power.
+//
+// Examples:
+//
+//	nocsim -pattern uniform -rate 0.2 -policy nodvfs
+//	nocsim -pattern tornado -rate 0.15 -policy rmsd -lambda-max 0.3
+//	nocsim -pattern uniform -rate 0.2 -policy dmsd -target 150
+//	nocsim -app h264 -speed 0.8 -policy dmsd -target 120 -width 4 -height 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/trace"
+)
+
+// dumpLogs writes the requested per-packet and per-flow CSVs.
+func dumpLogs(plog *trace.Log, packetPath, flowPath string) error {
+	write := func(path string, fn func(f *os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(packetPath, func(f *os.File) error { return plog.WriteCSV(f) }); err != nil {
+		return err
+	}
+	if err := write(flowPath, func(f *os.File) error { return plog.WriteFlowsCSV(f) }); err != nil {
+		return err
+	}
+	if plog.Dropped() > 0 {
+		fmt.Fprintf(os.Stderr, "packet log full: %d packets dropped\n", plog.Dropped())
+	}
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocsim: ")
+
+	var (
+		width   = flag.Int("width", 5, "mesh width")
+		height  = flag.Int("height", 5, "mesh height")
+		vcs     = flag.Int("vcs", 8, "virtual channels per port")
+		bufs    = flag.Int("buffers", 4, "flit buffers per VC")
+		pkt     = flag.Int("packet", 20, "packet size in flits")
+		routing = flag.String("routing", "xy", "routing algorithm: xy, yx, o1turn")
+
+		pattern = flag.String("pattern", "uniform", "synthetic pattern (uniform, tornado, bitcomp, transpose, neighbor, bitrev, shuffle)")
+		rate    = flag.Float64("rate", 0.2, "injection rate, flits per node per node cycle")
+		appName = flag.String("app", "", "multimedia app instead of a pattern: h264 or vce")
+		speed   = flag.Float64("speed", 1.0, "app speed, 1.0 = 75 frames/s")
+
+		policy    = flag.String("policy", "nodvfs", "DVFS policy: nodvfs, rmsd, dmsd")
+		lambdaMax = flag.Float64("lambda-max", 0, "RMSD target network rate (0 = auto-calibrate)")
+		target    = flag.Float64("target", 0, "DMSD target delay in ns (0 = auto-calibrate)")
+
+		seed  = flag.Int64("seed", 1, "random seed")
+		quick = flag.Bool("quick", false, "shorter warmup/measurement windows")
+
+		packetLog = flag.String("packet-log", "", "write per-packet lifecycle CSV to this file")
+		flowLog   = flag.String("flow-log", "", "write per-flow aggregate CSV to this file")
+	)
+	flag.Parse()
+
+	ralgo, err := noc.ParseRouting(*routing)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := core.Scenario{
+		Noc: noc.Config{
+			Width: *width, Height: *height, VCs: *vcs,
+			BufDepth: *bufs, PacketSize: *pkt, Routing: ralgo,
+		},
+		Seed:  *seed,
+		Quick: *quick,
+	}
+	var plog *trace.Log
+	if *packetLog != "" || *flowLog != "" {
+		plog = trace.NewLog(0)
+		s.PacketLog = plog
+	}
+	load := *rate
+	if *appName != "" {
+		var app apps.App
+		switch *appName {
+		case "h264":
+			app = apps.H264()
+		case "vce":
+			app = apps.VCE()
+		default:
+			log.Fatalf("unknown app %q (want h264 or vce)", *appName)
+		}
+		s.App = &app
+		s.Noc.Width, s.Noc.Height = app.Width, app.Height
+		load = *speed
+	} else {
+		s.Pattern = *pattern
+	}
+
+	kind := core.PolicyKind(*policy)
+	cal := core.Calibration{}
+	if *lambdaMax > 0 || *target > 0 {
+		// Partial manual calibration: fill what the user gave, guess the
+		// rest conservatively.
+		cal = core.Calibration{
+			SaturationRate: *lambdaMax / 0.9,
+			LambdaMax:      *lambdaMax,
+			TargetDelayNs:  *target,
+		}
+		if kind == core.RMSD && *lambdaMax == 0 {
+			log.Fatal("-policy rmsd needs -lambda-max (or leave both unset for auto-calibration)")
+		}
+		if kind == core.DMSD && *target == 0 {
+			log.Fatal("-policy dmsd needs -target (or leave both unset for auto-calibration)")
+		}
+	}
+
+	res, err := core.RunOne(s, kind, load, cal)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scenario:    %s\n", describe(s, load))
+	fmt.Printf("policy:      %s\n", kind)
+	fmt.Printf("latency:     %.1f network cycles\n", res.AvgLatencyCycles)
+	fmt.Printf("delay:       %.1f ns (p99 %.0f ns)\n", res.AvgDelayNs, res.P99DelayNs)
+	fmt.Printf("throughput:  %.4f flits/node/cycle (offered %.4f)\n", res.Throughput, res.OfferedRate)
+	fmt.Printf("frequency:   %.1f MHz (avg), voltage %.3f V\n", res.AvgFreqHz/1e6, res.AvgVolts)
+	fmt.Printf("power:       %.1f mW\n", res.AvgPowerMW)
+	fmt.Printf("packets:     %d measured over %.1f µs\n", res.Packets, res.ElapsedNs/1e3)
+	if plog != nil {
+		if err := dumpLogs(plog, *packetLog, *flowLog); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if res.Saturated {
+		fmt.Println("WARNING:     network saturated at this load")
+		os.Exit(2)
+	}
+}
+
+func describe(s core.Scenario, load float64) string {
+	traffic := s.Pattern
+	loadLabel := fmt.Sprintf("rate %.3f", load)
+	if s.App != nil {
+		traffic = s.App.Name
+		loadLabel = fmt.Sprintf("speed %.2f", load)
+	}
+	return fmt.Sprintf("%dx%d mesh, %d VCs, %d buf/VC, %d-flit packets, %s routing, %s traffic, %s",
+		s.Noc.Width, s.Noc.Height, s.Noc.VCs, s.Noc.BufDepth, s.Noc.PacketSize,
+		s.Noc.Routing, traffic, loadLabel)
+}

@@ -1,0 +1,26 @@
+// Package repro reproduces Casu & Giaccone, "Rate-based vs Delay-based
+// Control for DVFS in NoC" (DATE 2015): a cycle-accurate virtual-channel
+// mesh NoC simulator with a global DVFS domain, the paper's two policies
+// (rate-based RMSD and delay-based DMSD with a PI loop), a 28-nm
+// FDSOI-calibrated voltage/frequency and power model, and a benchmark
+// harness that regenerates every figure of the paper's evaluation.
+//
+// The implementation lives under internal/:
+//
+//	internal/noc      cycle-accurate VC wormhole router mesh (the Booksim substitute)
+//	internal/traffic  synthetic patterns, traffic matrices, node-clock injection
+//	internal/apps     H.264 and VCE multimedia communication graphs (Fig. 9)
+//	internal/volt     28-nm FDSOI F(Vdd) model (Fig. 5)
+//	internal/dvfs     No-DVFS, RMSD, DMSD policies and the PI controller
+//	internal/power    event-energy power model and integrator
+//	internal/stats    streaming statistics
+//	internal/sim      the two-clock-domain simulation engine
+//	internal/core     experiments: calibration, saturation search, sweeps
+//	internal/sweep    figure/table generators for the whole evaluation
+//
+// Entry points: cmd/nocsim (single run), cmd/figures (regenerate the
+// evaluation), cmd/capacity (saturation analysis), and examples/.
+//
+// The benchmarks in bench_test.go map one-to-one onto the paper's tables
+// and figures; see EXPERIMENTS.md for measured-vs-paper comparisons.
+package repro

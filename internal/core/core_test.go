@@ -1,0 +1,172 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/noc"
+)
+
+// quickScenario returns the paper's baseline scenario with shrunk windows.
+func quickScenario() Scenario {
+	return Scenario{
+		Noc:     noc.DefaultConfig(),
+		Pattern: "uniform",
+		Quick:   true,
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	s := Scenario{Noc: noc.DefaultConfig()}
+	s.setDefaults()
+	if err := s.validate(); err == nil {
+		t.Error("accepted scenario without traffic")
+	}
+	app := apps.H264()
+	s = Scenario{Noc: noc.DefaultConfig(), Pattern: "uniform", App: &app}
+	s.setDefaults()
+	if err := s.validate(); err == nil {
+		t.Error("accepted scenario with both pattern and app")
+	}
+	s = Scenario{Noc: noc.Config{}, Pattern: "uniform"}
+	s.setDefaults()
+	if err := s.validate(); err == nil {
+		t.Error("accepted invalid noc config")
+	}
+}
+
+func TestLoadGrid(t *testing.T) {
+	g := LoadGrid(0.4, 4)
+	want := []float64{0.1, 0.2, 0.3, 0.4}
+	if len(g) != 4 {
+		t.Fatalf("grid %v", g)
+	}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("grid[%d] = %g, want %g", i, g[i], want[i])
+		}
+	}
+	if LoadGrid(0.4, 0) != nil {
+		t.Error("LoadGrid(_, 0) should be nil")
+	}
+}
+
+func TestFindSaturationBaseline(t *testing.T) {
+	// The paper reports saturation ≈0.42 for the baseline configuration
+	// (Sec. III). Accept a band around it: exact value depends on
+	// allocator details.
+	sat, err := FindSaturation(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat < 0.3 || sat > 0.6 {
+		t.Errorf("saturation = %.3f, want in [0.3, 0.6] (paper: 0.42)", sat)
+	}
+}
+
+func TestFindSaturationFewerVCsIsLower(t *testing.T) {
+	s := quickScenario()
+	sat8, err := FindSaturation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Noc.VCs = 2
+	sat2, err := FindSaturation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sat2 >= sat8 {
+		t.Errorf("2-VC saturation %.3f not below 8-VC %.3f", sat2, sat8)
+	}
+}
+
+func TestCalibrate(t *testing.T) {
+	cal, err := Calibrate(quickScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cal.LambdaMax-0.9*cal.SaturationRate) > 1e-12 {
+		t.Errorf("λmax %.3f not 90%% of saturation %.3f", cal.LambdaMax, cal.SaturationRate)
+	}
+	// The target is the near-saturation delay at 1 GHz: must be well above
+	// the zero-load latency (~40 ns) and below the saturation guard.
+	if cal.TargetDelayNs < 50 || cal.TargetDelayNs > 2000 {
+		t.Errorf("target delay %.1f ns implausible", cal.TargetDelayNs)
+	}
+}
+
+func TestRunOneNoDVFS(t *testing.T) {
+	res, err := RunOne(quickScenario(), NoDVFS, 0.15, Calibration{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 || res.Saturated {
+		t.Errorf("unexpected result: %+v", res)
+	}
+}
+
+func TestRunOneUnknownPolicy(t *testing.T) {
+	_, err := RunOne(quickScenario(), PolicyKind("magic"), 0.1, Calibration{SaturationRate: 0.4, LambdaMax: 0.36, TargetDelayNs: 150})
+	if err == nil {
+		t.Error("accepted unknown policy")
+	}
+}
+
+func TestComparePoliciesOrderings(t *testing.T) {
+	// One moderate-load point, all three policies, fixed calibration to
+	// keep the test fast and deterministic. Verifies the paper's headline
+	// orderings: P(RMSD) < P(DMSD) < P(NoDVFS); D(RMSD) > D(DMSD).
+	cal := Calibration{SaturationRate: 0.42, LambdaMax: 0.378, TargetDelayNs: 150}
+	cmp, err := ComparePolicies(quickScenario(), []float64{0.2}, AllPolicies(), cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Sweeps) != 3 {
+		t.Fatalf("got %d sweeps", len(cmp.Sweeps))
+	}
+	pN := cmp.Sweeps[NoDVFS].Points[0].Result
+	pR := cmp.Sweeps[RMSD].Points[0].Result
+	pD := cmp.Sweeps[DMSD].Points[0].Result
+	if !(pR.AvgPowerMW < pD.AvgPowerMW && pD.AvgPowerMW < pN.AvgPowerMW) {
+		t.Errorf("power ordering: rmsd %.1f, dmsd %.1f, nodvfs %.1f mW",
+			pR.AvgPowerMW, pD.AvgPowerMW, pN.AvgPowerMW)
+	}
+	if pR.AvgDelayNs <= pD.AvgDelayNs {
+		t.Errorf("delay ordering: rmsd %.1f ns not above dmsd %.1f ns",
+			pR.AvgDelayNs, pD.AvgDelayNs)
+	}
+}
+
+func TestComparePoliciesEmptyGrid(t *testing.T) {
+	if _, err := ComparePolicies(quickScenario(), nil, nil, Calibration{SaturationRate: 0.4, LambdaMax: 0.36, TargetDelayNs: 150}); err == nil {
+		t.Error("accepted empty load grid")
+	}
+}
+
+func TestComparePoliciesAppScenario(t *testing.T) {
+	app := apps.H264()
+	s := Scenario{
+		Noc:   noc.Config{Width: 4, Height: 4, VCs: 8, BufDepth: 4, PacketSize: 20, Routing: noc.RoutingXY},
+		App:   &app,
+		Quick: true,
+	}
+	cal := Calibration{SaturationRate: 0.5, LambdaMax: 0.45, TargetDelayNs: 120}
+	cmp, err := ComparePolicies(s, []float64{0.5}, []PolicyKind{NoDVFS, RMSD}, cal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Sweeps[NoDVFS].Points[0].Result.Packets == 0 {
+		t.Error("app scenario measured no packets")
+	}
+	if cmp.Sweeps[RMSD].Points[0].Result.AvgPowerMW >= cmp.Sweeps[NoDVFS].Points[0].Result.AvgPowerMW {
+		t.Error("RMSD power not below No-DVFS on app traffic")
+	}
+}
+
+func TestAllPolicies(t *testing.T) {
+	ps := AllPolicies()
+	if len(ps) != 3 || ps[0] != NoDVFS || ps[1] != RMSD || ps[2] != DMSD {
+		t.Errorf("AllPolicies() = %v", ps)
+	}
+}

@@ -1,0 +1,89 @@
+package dvfs
+
+import "fmt"
+
+// RMSD is the Rate-based Max Slow Down policy (Sec. III, Fig. 1). The
+// controller node receives the average injection rate measured by the
+// transmitting nodes and applies the open-loop frequency law of Eq. (2):
+//
+//	Fnoc = Fnode · λnode / λmax
+//
+// clipped to [FMin, FMax]. λmax is the target network injection rate, set
+// a safety margin below the saturation rate (10% in the paper), so the
+// network always operates just below saturation at the minimum frequency
+// able to sustain the offered load.
+type RMSD struct {
+	fnode  float64
+	lmax   float64
+	rng    Range
+	f      float64
+	smooth float64 // EWMA coefficient on the measured rate, 0 = off
+	ewma   float64
+	seeded bool
+}
+
+// NewRMSD builds the policy. fnode is the node clock (Hz), lambdaMax the
+// target network injection rate in flits per node per network cycle, and
+// rng the actuator range. The initial frequency is FMax (the network boots
+// at full speed, as a DVFS controller would before its first measurement).
+func NewRMSD(fnode, lambdaMax float64, rng Range) (*RMSD, error) {
+	if err := rng.Validate(); err != nil {
+		return nil, err
+	}
+	if fnode <= 0 {
+		return nil, fmt.Errorf("dvfs: node frequency %g must be positive", fnode)
+	}
+	if lambdaMax <= 0 || lambdaMax > 1 {
+		return nil, fmt.Errorf("dvfs: lambdaMax %g outside (0, 1]", lambdaMax)
+	}
+	return &RMSD{fnode: fnode, lmax: lambdaMax, rng: rng, f: rng.FMax}, nil
+}
+
+// SetSmoothing enables exponential smoothing of the measured rate with
+// coefficient alpha in (0,1]; alpha=1 (or 0) disables smoothing. Smoothing
+// is an extension for bursty traffic; the paper's experiments use the raw
+// window average.
+func (p *RMSD) SetSmoothing(alpha float64) { p.smooth = alpha }
+
+// LambdaMax returns the configured target network injection rate.
+func (p *RMSD) LambdaMax() float64 { return p.lmax }
+
+// LambdaMin returns the node injection rate below which the frequency
+// clips at FMin: λmin = λmax·FMin/Fnode (Sec. III).
+func (p *RMSD) LambdaMin() float64 { return p.lmax * p.rng.FMin / p.fnode }
+
+// Name implements Policy.
+func (*RMSD) Name() string { return "rmsd" }
+
+// Next implements Policy: the frequency-scaling law of Eq. (2).
+func (p *RMSD) Next(m Measurement) float64 {
+	rate := m.NodeRate()
+	if p.smooth > 0 && p.smooth < 1 {
+		if !p.seeded {
+			p.ewma = rate
+			p.seeded = true
+		} else {
+			p.ewma += p.smooth * (rate - p.ewma)
+		}
+		rate = p.ewma
+	}
+	p.f = p.rng.apply(p.fnode * rate / p.lmax)
+	return p.f
+}
+
+// Freq implements Policy.
+func (p *RMSD) Freq() float64 { return p.f }
+
+// Reset implements Policy.
+func (p *RMSD) Reset() {
+	p.f = p.rng.FMax
+	p.ewma = 0
+	p.seeded = false
+}
+
+// FreqForRate returns the steady-state frequency Eq. (2) commands at node
+// rate λnode, without mutating the controller; useful for analysis and the
+// Fig. 4(a) curves.
+func (p *RMSD) FreqForRate(lambdaNode float64) float64 {
+	return p.rng.apply(p.fnode * lambdaNode / p.lmax)
+}

@@ -1,0 +1,58 @@
+package noc
+
+// RouterActivity accumulates per-router switching-event counts over a
+// simulation. These counts are the inputs to the power model (package
+// power), mirroring the paper's flow of importing Booksim activity traces
+// into the Synopsys power estimator (Sec. IV-A).
+type RouterActivity struct {
+	// BufWrites counts flits written into input VC buffers.
+	BufWrites int64
+	// BufReads counts flits read out of input VC buffers.
+	BufReads int64
+	// XbarTraversals counts flits crossing the switch (ST stage).
+	XbarTraversals int64
+	// VCAllocs counts successful virtual-channel allocation grants.
+	VCAllocs int64
+	// SAAllocs counts successful switch allocation grants.
+	SAAllocs int64
+	// LinkFlits counts flits sent on router-to-router output links.
+	LinkFlits int64
+	// EjectFlits counts flits delivered to the local ejection port.
+	EjectFlits int64
+	// InjectFlits counts flits received on the local injection port.
+	InjectFlits int64
+}
+
+// Add accumulates other into a.
+func (a *RouterActivity) Add(other RouterActivity) {
+	a.BufWrites += other.BufWrites
+	a.BufReads += other.BufReads
+	a.XbarTraversals += other.XbarTraversals
+	a.VCAllocs += other.VCAllocs
+	a.SAAllocs += other.SAAllocs
+	a.LinkFlits += other.LinkFlits
+	a.EjectFlits += other.EjectFlits
+	a.InjectFlits += other.InjectFlits
+}
+
+// Sub returns a minus other, used to compute per-window activity deltas.
+func (a RouterActivity) Sub(other RouterActivity) RouterActivity {
+	return RouterActivity{
+		BufWrites:      a.BufWrites - other.BufWrites,
+		BufReads:       a.BufReads - other.BufReads,
+		XbarTraversals: a.XbarTraversals - other.XbarTraversals,
+		VCAllocs:       a.VCAllocs - other.VCAllocs,
+		SAAllocs:       a.SAAllocs - other.SAAllocs,
+		LinkFlits:      a.LinkFlits - other.LinkFlits,
+		EjectFlits:     a.EjectFlits - other.EjectFlits,
+		InjectFlits:    a.InjectFlits - other.InjectFlits,
+	}
+}
+
+// NetworkActivity is the aggregate of all router activities plus cycle
+// bookkeeping for clock-tree power.
+type NetworkActivity struct {
+	RouterActivity
+	// Cycles is the number of network clock cycles elapsed.
+	Cycles int64
+}

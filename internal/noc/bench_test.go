@@ -1,0 +1,32 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchStep measures Network.Step cost at a given packet-generation
+// probability per node per cycle.
+func benchStep(b *testing.B, pktProb float64) {
+	cfg := DefaultConfig()
+	n, _ := NewNetwork(cfg)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for s := 0; s < cfg.Nodes(); s++ {
+			if rng.Float64() < pktProb {
+				d := s
+				for d == s {
+					d = rng.Intn(cfg.Nodes())
+				}
+				n.NewPacket(NodeID(s), NodeID(d), 0, 0)
+			}
+		}
+		n.Step()
+	}
+}
+
+func BenchmarkNetworkStepIdle(b *testing.B)     { benchStep(b, 0) }
+func BenchmarkNetworkStepLight(b *testing.B)    { benchStep(b, 0.002) } // ~0.04 flits/node/cycle
+func BenchmarkNetworkStepModerate(b *testing.B) { benchStep(b, 0.01) }  // ~0.2 flits/node/cycle
+func BenchmarkNetworkStepHeavy(b *testing.B)    { benchStep(b, 0.02) }  // ~0.4 flits/node/cycle

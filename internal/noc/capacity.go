@@ -1,0 +1,92 @@
+package noc
+
+// ChannelLoads computes, for a normalized traffic matrix m (m[s][d] is the
+// fraction of node s's injected flits destined to node d, with rows summing
+// to at most 1), the load placed on every directed mesh channel under the
+// configured deterministic routing, assuming every node injects at rate 1
+// flit per cycle. The result maps the flat channel index (see ChannelIndex)
+// to its load in flits per cycle.
+//
+// The theoretical per-node capacity of the network under this matrix is
+// 1/maxLoad: no injection rate above it can be sustained because the most
+// loaded channel would have to carry more than one flit per cycle. The
+// simulator's empirically measured saturation rate is lower (allocator and
+// buffer limits); both values are useful to sanity-check each other and to
+// seed the RMSD policy's λmax.
+func ChannelLoads(cfg Config, m [][]float64) []float64 {
+	loads := make([]float64, cfg.Nodes()*NumPorts)
+	for s := 0; s < cfg.Nodes(); s++ {
+		for d := 0; d < cfg.Nodes(); d++ {
+			if s == d || m[s][d] == 0 {
+				continue
+			}
+			w := m[s][d]
+			yFirst := cfg.Routing == RoutingYX
+			if cfg.Routing == RoutingO1TURN {
+				// O1TURN splits traffic evenly over XY and YX.
+				addPathLoad(cfg, loads, NodeID(s), NodeID(d), w/2, false)
+				addPathLoad(cfg, loads, NodeID(s), NodeID(d), w/2, true)
+				continue
+			}
+			addPathLoad(cfg, loads, NodeID(s), NodeID(d), w, yFirst)
+		}
+	}
+	return loads
+}
+
+// addPathLoad walks the dimension-ordered route from s to d adding w to
+// every traversed channel.
+func addPathLoad(cfg Config, loads []float64, s, d NodeID, w float64, yFirst bool) {
+	cur := s
+	for cur != d {
+		p := routeDOR(&cfg, cur, d, yFirst)
+		loads[ChannelIndex(cfg, cur, p)] += w
+		dx, dy := p.delta()
+		x, y := cfg.Coord(cur)
+		cur = cfg.Node(x+dx, y+dy)
+	}
+}
+
+// ChannelIndex returns the flat index of the directed channel leaving node
+// id through port p.
+func ChannelIndex(cfg Config, id NodeID, p Port) int {
+	return int(id)*NumPorts + int(p)
+}
+
+// MaxChannelLoad returns the maximum element of loads.
+func MaxChannelLoad(loads []float64) float64 {
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// TheoreticalCapacity returns the per-node injection-rate upper bound
+// (flits per node per cycle) for the matrix m: 1 / max channel load.
+// It returns +Inf only for an empty matrix, which callers should treat as
+// "no traffic".
+func TheoreticalCapacity(cfg Config, m [][]float64) float64 {
+	max := MaxChannelLoad(ChannelLoads(cfg, m))
+	if max == 0 {
+		return 0
+	}
+	return 1 / max
+}
+
+// UniformMatrix returns the uniform-random traffic matrix over n nodes:
+// every source spreads its traffic evenly over the n-1 other nodes.
+func UniformMatrix(n int) [][]float64 {
+	m := make([][]float64, n)
+	for s := range m {
+		m[s] = make([]float64, n)
+		for d := range m[s] {
+			if s != d {
+				m[s][d] = 1 / float64(n-1)
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,53 @@
+package noc
+
+// NodeID identifies a node (router plus attached processing element) in the
+// mesh. Nodes are numbered row-major: id = y*Width + x.
+type NodeID int
+
+// Packet is a multi-flit message. A packet of Size flits is serialized into
+// one head flit, Size-2 body flits and one tail flit (a single-flit packet
+// has one flit that is both head and tail).
+//
+// The timestamps support the paper's two delay metrics: CreateCycle is in
+// network clock cycles (latency "in cycles", Fig. 2a) while CreateTime is in
+// nanoseconds of simulated real time (delay "in ns", Fig. 2b), accumulated
+// by the engine at the then-current network frequency.
+type Packet struct {
+	ID   int64
+	Src  NodeID
+	Dst  NodeID
+	Size int
+
+	// CreateCycle is the network cycle at which the packet was generated
+	// and entered the (unbounded) source queue.
+	CreateCycle int64
+	// CreateTime is the simulated real time, in nanoseconds, at generation.
+	CreateTime float64
+	// InjectCycle is the network cycle at which the head flit left the
+	// source queue and entered the router's local input port.
+	InjectCycle int64
+	// ArriveCycle is the network cycle at which the tail flit was ejected.
+	ArriveCycle int64
+
+	// DimOrder selects the dimension traversal order for routing:
+	// 0 routes X first (XY), 1 routes Y first (YX). It is chosen at packet
+	// creation (per-packet random for O1TURN).
+	DimOrder uint8
+
+	// Hops counts router-to-router link traversals, filled in during
+	// transit; useful for statistics and tests.
+	Hops int
+}
+
+// Flit is the flow-control unit. Flits belong to exactly one packet and are
+// delivered in order within a virtual channel.
+type Flit struct {
+	Packet *Packet
+	Seq    int  // index of this flit within the packet, 0-based
+	Head   bool // first flit of the packet
+	Tail   bool // last flit of the packet
+
+	// VC is the virtual channel the flit occupies in the input buffer it
+	// is currently stored in (or is in flight towards).
+	VC int
+}

@@ -1,0 +1,264 @@
+package noc
+
+import "fmt"
+
+// flitEvent is a flit in flight on a link, to be delivered at Cycle.
+type flitEvent struct {
+	router *Router
+	port   Port
+	flit   *Flit
+}
+
+// creditEvent is a credit in flight back towards the sender feeding
+// router's input (port, vc).
+type creditEvent struct {
+	router *Router
+	port   Port
+	vc     int
+}
+
+// ejectEvent is a flit leaving the network at a local ejection port.
+type ejectEvent struct {
+	node NodeID
+	flit *Flit
+}
+
+// Network is the complete mesh fabric: routers, links, and per-node
+// injection sources. It advances strictly one network clock cycle per Step
+// call; real-time semantics under DVFS are handled by the caller.
+type Network struct {
+	cfg     Config
+	routers []*Router
+	sources []*source
+
+	cycle int64
+
+	// Two-phase event staging: events produced during cycle t are applied
+	// at the start of cycle t+1, modelling one-cycle link and credit
+	// delays.
+	stagedFlits    []flitEvent
+	pendingFlits   []flitEvent
+	stagedCredits  []creditEvent
+	pendingCredits []creditEvent
+	stagedEjects   []ejectEvent
+	pendingEjects  []ejectEvent
+
+	// OnArrive, if non-nil, is invoked when a packet's tail flit is
+	// ejected. The cycle argument is the ejection cycle.
+	OnArrive func(p *Packet, cycle int64)
+
+	nextPacketID int64
+
+	// Counters for conservation checks and throughput statistics.
+	packetsQueued  int64
+	packetsArrived int64
+	flitsInjected  int64
+	flitsEjected   int64
+}
+
+// NewNetwork builds a mesh network from cfg. It returns an error if the
+// configuration is invalid.
+func NewNetwork(cfg Config) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("noc: invalid config: %w", err)
+	}
+	n := &Network{cfg: cfg}
+	nodes := cfg.Nodes()
+	n.routers = make([]*Router, nodes)
+	n.sources = make([]*source, nodes)
+	for id := 0; id < nodes; id++ {
+		n.routers[id] = newRouter(n, NodeID(id))
+	}
+	for id := 0; id < nodes; id++ {
+		r := n.routers[id]
+		for p := PortNorth; p <= PortWest; p++ {
+			dx, dy := p.delta()
+			x, y := cfg.Coord(NodeID(id))
+			if cfg.InMesh(x+dx, y+dy) {
+				r.neighbor[p] = n.routers[cfg.Node(x+dx, y+dy)]
+			}
+		}
+		n.sources[id] = newSource(NodeID(id), r, &cfg)
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Cycle returns the current network clock cycle.
+func (n *Network) Cycle() int64 { return n.cycle }
+
+// Router returns the router at node id.
+func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+
+// NewPacket creates a packet from src to dst stamped with the current
+// cycle and the caller-supplied real time (ns), and appends it to the
+// source queue of src. dimOrder selects XY (0) or YX (1) traversal for
+// O1TURN routing; it is ignored for plain XY/YX.
+func (n *Network) NewPacket(src, dst NodeID, nowNs float64, dimOrder uint8) *Packet {
+	if src == dst {
+		panic("noc: packet to self")
+	}
+	n.nextPacketID++
+	p := &Packet{
+		ID:          n.nextPacketID,
+		Src:         src,
+		Dst:         dst,
+		Size:        n.cfg.PacketSize,
+		CreateCycle: n.cycle,
+		CreateTime:  nowNs,
+		DimOrder:    dimOrder,
+	}
+	n.sources[src].queue.Push(p)
+	n.packetsQueued++
+	return p
+}
+
+// stageFlit schedules delivery of a flit into router's input port at the
+// next cycle.
+func (n *Network) stageFlit(router *Router, port Port, f *Flit, _ int64) {
+	n.stagedFlits = append(n.stagedFlits, flitEvent{router: router, port: port, flit: f})
+	n.flitsInjected += boolToInt64(port == PortLocal)
+}
+
+// stageCredit schedules a credit return towards whatever feeds router's
+// input (port, vc): the upstream router for a mesh port, the injection
+// source for the local port.
+func (n *Network) stageCredit(router *Router, port Port, vc int, _ int64) {
+	n.stagedCredits = append(n.stagedCredits, creditEvent{router: router, port: port, vc: vc})
+}
+
+// stageEject schedules final delivery of an ejected flit to the node's PE.
+func (n *Network) stageEject(node NodeID, f *Flit, _ int64) {
+	n.stagedEjects = append(n.stagedEjects, ejectEvent{node: node, flit: f})
+}
+
+// Step advances the network by one clock cycle: it delivers flits and
+// credits staged in the previous cycle, runs every router pipeline, and
+// lets every source inject at most one flit.
+func (n *Network) Step() {
+	n.cycle++
+	cycle := n.cycle
+
+	// Swap staging buffers: everything staged during cycle-1 is delivered
+	// now; new events are staged for cycle+1.
+	n.pendingFlits, n.stagedFlits = n.stagedFlits, n.pendingFlits[:0]
+	n.pendingCredits, n.stagedCredits = n.stagedCredits, n.pendingCredits[:0]
+	n.pendingEjects, n.stagedEjects = n.stagedEjects, n.pendingEjects[:0]
+
+	for _, ev := range n.pendingEjects {
+		n.flitsEjected++
+		if ev.flit.Tail {
+			p := ev.flit.Packet
+			p.ArriveCycle = cycle
+			n.packetsArrived++
+			if n.OnArrive != nil {
+				n.OnArrive(p, cycle)
+			}
+		}
+	}
+	for _, ev := range n.pendingFlits {
+		ev.router.acceptFlit(ev.port, ev.flit, cycle)
+	}
+	for _, ev := range n.pendingCredits {
+		if ev.port == PortLocal {
+			n.sources[ev.router.id].acceptCredit(ev.vc)
+			continue
+		}
+		up := ev.router.neighbor[ev.port]
+		if up == nil {
+			panic("noc: credit towards a missing neighbour")
+		}
+		up.acceptCredit(ev.port.Opposite(), ev.vc)
+	}
+
+	for _, r := range n.routers {
+		r.step(cycle)
+	}
+	for _, s := range n.sources {
+		s.step(cycle, &n.cfg)
+	}
+}
+
+// InFlight returns the number of flits currently inside the network:
+// buffered in routers or in flight on links (including flits owed by the
+// sources' partially sent packets and queued packets).
+func (n *Network) InFlight() int64 {
+	var total int64
+	for _, r := range n.routers {
+		total += int64(r.occupancy())
+	}
+	total += int64(len(n.stagedFlits)) + int64(len(n.stagedEjects))
+	for _, s := range n.sources {
+		total += s.pendingFlits(&n.cfg)
+	}
+	return total
+}
+
+// SourceBacklog returns the total number of packets waiting in all source
+// queues (excluding packets currently being serialized). It is the primary
+// saturation signal: under sustained overload the backlog grows without
+// bound.
+func (n *Network) SourceBacklog() int64 {
+	var total int64
+	for _, s := range n.sources {
+		total += int64(s.queue.Len())
+	}
+	return total
+}
+
+// Stats returns cumulative packet and flit counters: packets queued,
+// packets arrived, flits injected into routers, flits ejected.
+func (n *Network) Stats() (queued, arrived, injected, ejected int64) {
+	return n.packetsQueued, n.packetsArrived, n.flitsInjected, n.flitsEjected
+}
+
+// Activity returns the aggregate activity of all routers plus the elapsed
+// cycle count.
+func (n *Network) Activity() NetworkActivity {
+	var agg NetworkActivity
+	for _, r := range n.routers {
+		agg.RouterActivity.Add(r.Activity)
+	}
+	agg.Cycles = n.cycle
+	return agg
+}
+
+// RouterActivities returns a snapshot of each router's activity counters,
+// indexed by node id.
+func (n *Network) RouterActivities() []RouterActivity {
+	out := make([]RouterActivity, len(n.routers))
+	for i, r := range n.routers {
+		out[i] = r.Activity
+	}
+	return out
+}
+
+// CheckInvariants panics if any router's credit or VC state is
+// inconsistent. Tests call it liberally; production code does not need to.
+func (n *Network) CheckInvariants() {
+	for _, r := range n.routers {
+		r.checkInvariants()
+	}
+}
+
+// Drain advances the network until all injected traffic has been delivered
+// or maxCycles elapse; it reports whether the network fully drained.
+// Callers must stop generating new packets first.
+func (n *Network) Drain(maxCycles int64) bool {
+	for i := int64(0); i < maxCycles; i++ {
+		if n.InFlight() == 0 {
+			return true
+		}
+		n.Step()
+	}
+	return n.InFlight() == 0
+}
+
+func boolToInt64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,401 @@
+package noc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// runUniform drives a network with Bernoulli uniform traffic at the given
+// flit rate for the given number of cycles, then stops injecting and
+// drains. It returns the network for inspection.
+func runUniform(t *testing.T, cfg Config, rate float64, cycles int64, seed int64) *Network {
+	t.Helper()
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	pktProb := rate / float64(cfg.PacketSize)
+	for c := int64(0); c < cycles; c++ {
+		for s := 0; s < cfg.Nodes(); s++ {
+			if rng.Float64() < pktProb {
+				d := s
+				for d == s {
+					d = rng.Intn(cfg.Nodes())
+				}
+				n.NewPacket(NodeID(s), NodeID(d), 0, uint8(rng.Intn(2)))
+			}
+		}
+		n.Step()
+		if c%64 == 0 {
+			n.CheckInvariants()
+		}
+	}
+	return n
+}
+
+func TestSinglePacketZeroLoadLatency(t *testing.T) {
+	// At zero load the head flit takes 4 cycles per router (RC, VA, SA,
+	// link) plus 1 cycle from the source and 1 into the ejector; the tail
+	// follows PacketSize-1 cycles behind. Verify the closed form across
+	// several pairs and packet sizes.
+	for _, size := range []int{1, 4, 20} {
+		cfg := DefaultConfig()
+		cfg.PacketSize = size
+		pairs := []struct{ src, dst NodeID }{
+			{0, 1}, {0, 24}, {24, 0}, {12, 13}, {4, 20}, {7, 17},
+		}
+		for _, pair := range pairs {
+			n, err := NewNetwork(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got *Packet
+			n.OnArrive = func(p *Packet, cycle int64) { got = p }
+			p := n.NewPacket(pair.src, pair.dst, 0, 0)
+			for i := 0; i < 500 && got == nil; i++ {
+				n.Step()
+			}
+			if got == nil {
+				t.Fatalf("size=%d %d->%d: packet lost", size, pair.src, pair.dst)
+			}
+			hops := cfg.Distance(pair.src, pair.dst)
+			want := int64(4*(hops+1) + 2 + (size - 1))
+			latency := p.ArriveCycle - p.CreateCycle
+			if latency != want {
+				t.Errorf("size=%d %d->%d: latency %d cycles, want %d",
+					size, pair.src, pair.dst, latency, want)
+			}
+			if p.Hops != hops {
+				t.Errorf("size=%d %d->%d: hops=%d, want %d", size, pair.src, pair.dst, p.Hops, hops)
+			}
+		}
+	}
+}
+
+func TestPacketConservation(t *testing.T) {
+	// Everything injected is eventually delivered, exactly once.
+	cfg := DefaultConfig()
+	n := runUniform(t, cfg, 0.2, 2000, 1)
+	if !n.Drain(20000) {
+		t.Fatal("network failed to drain")
+	}
+	queued, arrived, injected, ejected := n.Stats()
+	if queued != arrived {
+		t.Errorf("queued %d packets but %d arrived", queued, arrived)
+	}
+	if injected != ejected {
+		t.Errorf("injected %d flits but %d ejected", injected, ejected)
+	}
+	if wantFlits := queued * int64(cfg.PacketSize); ejected != wantFlits {
+		t.Errorf("ejected %d flits, want %d", ejected, wantFlits)
+	}
+	if n.InFlight() != 0 {
+		t.Errorf("%d flits still in flight after drain", n.InFlight())
+	}
+}
+
+func TestPacketConservationQuick(t *testing.T) {
+	// Property: conservation holds for random small configurations.
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(wRaw, hRaw, vcRaw, bufRaw, sizeRaw uint8, seed int64) bool {
+		cfg := Config{
+			Width:      int(wRaw%3) + 2, // 2..4
+			Height:     int(hRaw%3) + 2,
+			VCs:        int(vcRaw%4) + 1,  // 1..4
+			BufDepth:   int(bufRaw%4) + 1, // 1..4
+			PacketSize: int(sizeRaw%8) + 1,
+			Routing:    RoutingXY,
+		}
+		n, err := NewNetwork(cfg)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for c := 0; c < 300; c++ {
+			for s := 0; s < cfg.Nodes(); s++ {
+				if rng.Float64() < 0.05/float64(cfg.PacketSize) {
+					d := s
+					for d == s {
+						d = rng.Intn(cfg.Nodes())
+					}
+					n.NewPacket(NodeID(s), NodeID(d), 0, 0)
+				}
+			}
+			n.Step()
+		}
+		if !n.Drain(50000) {
+			return false
+		}
+		queued, arrived, injected, ejected := n.Stats()
+		return queued == arrived && injected == ejected
+	}
+	cfgQ := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfgQ); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrivalOrderWithinSourceDestPair(t *testing.T) {
+	// Deterministic routing plus per-VC FIFO order means two packets from
+	// the same source to the same destination on the same VC cannot be
+	// reordered; with multiple VCs reordering between VCs is possible, so
+	// restrict to 1 VC where ordering must be strict.
+	cfg := DefaultConfig()
+	cfg.VCs = 1
+	cfg.PacketSize = 4
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var arrivals []int64
+	n.OnArrive = func(p *Packet, cycle int64) {
+		if p.Src == 0 && p.Dst == 24 {
+			arrivals = append(arrivals, p.ID)
+		}
+	}
+	var want []int64
+	for i := 0; i < 10; i++ {
+		p := n.NewPacket(0, 24, 0, 0)
+		want = append(want, p.ID)
+	}
+	for i := 0; i < 5000 && len(arrivals) < len(want); i++ {
+		n.Step()
+	}
+	if len(arrivals) != len(want) {
+		t.Fatalf("only %d/%d packets arrived", len(arrivals), len(want))
+	}
+	for i := range want {
+		if arrivals[i] != want[i] {
+			t.Fatalf("arrival order %v, want %v", arrivals, want)
+		}
+	}
+}
+
+func TestLowLoadStable(t *testing.T) {
+	cfg := DefaultConfig()
+	n := runUniform(t, cfg, 0.1, 5000, 2)
+	if backlog := n.SourceBacklog(); backlog > 25 {
+		t.Errorf("backlog %d at 0.1 load: network should be stable", backlog)
+	}
+}
+
+func TestOverloadSaturates(t *testing.T) {
+	// Far above capacity the source backlog must grow roughly linearly.
+	cfg := DefaultConfig()
+	n := runUniform(t, cfg, 0.9, 5000, 3)
+	if backlog := n.SourceBacklog(); backlog < 100 {
+		t.Errorf("backlog %d at 0.9 load: expected saturation", backlog)
+	}
+}
+
+func TestThroughputTracksOfferedLoadBelowSaturation(t *testing.T) {
+	cfg := DefaultConfig()
+	cycles := int64(20000)
+	for _, rate := range []float64{0.05, 0.15, 0.3} {
+		n := runUniform(t, cfg, rate, cycles, 4)
+		_, _, _, ejected := n.Stats()
+		accepted := float64(ejected) / float64(cycles) / float64(cfg.Nodes())
+		if accepted < rate*0.9 || accepted > rate*1.1 {
+			t.Errorf("rate %.2f: accepted %.3f flits/node/cycle, want within 10%%", rate, accepted)
+		}
+	}
+}
+
+func TestHopsMatchManhattanDistance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PacketSize = 2
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	n.OnArrive = func(p *Packet, cycle int64) {
+		if p.Hops != cfg.Distance(p.Src, p.Dst) {
+			bad++
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for c := 0; c < 3000; c++ {
+		if c < 2000 && rng.Float64() < 0.3 {
+			s := rng.Intn(25)
+			d := s
+			for d == s {
+				d = rng.Intn(25)
+			}
+			n.NewPacket(NodeID(s), NodeID(d), 0, 0)
+		}
+		n.Step()
+	}
+	if bad != 0 {
+		t.Errorf("%d packets took non-minimal routes", bad)
+	}
+}
+
+func TestLatencyIncludesSourceQueueTime(t *testing.T) {
+	// Queue two packets back to back on a 1-VC network; the second must
+	// report a latency that includes waiting behind the first.
+	cfg := DefaultConfig()
+	cfg.VCs = 1
+	var latencies []int64
+	n, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.OnArrive = func(p *Packet, cycle int64) {
+		latencies = append(latencies, p.ArriveCycle-p.CreateCycle)
+	}
+	n.NewPacket(0, 4, 0, 0)
+	n.NewPacket(0, 4, 0, 0)
+	for i := 0; i < 1000 && len(latencies) < 2; i++ {
+		n.Step()
+	}
+	if len(latencies) != 2 {
+		t.Fatal("packets lost")
+	}
+	if latencies[1] <= latencies[0] {
+		t.Errorf("second packet latency %d not above first %d", latencies[1], latencies[0])
+	}
+}
+
+func TestNewPacketToSelfPanics(t *testing.T) {
+	n, err := NewNetwork(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPacket(0,0) did not panic")
+		}
+	}()
+	n.NewPacket(0, 0, 0, 0)
+}
+
+func TestNewNetworkRejectsInvalidConfig(t *testing.T) {
+	if _, err := NewNetwork(Config{}); err == nil {
+		t.Fatal("NewNetwork accepted zero config")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64, int64, int64) {
+		cfg := DefaultConfig()
+		n := runUniform(t, cfg, 0.25, 3000, 42)
+		return n.Stats()
+	}
+	q1, a1, i1, e1 := run()
+	q2, a2, i2, e2 := run()
+	if q1 != q2 || a1 != a2 || i1 != i2 || e1 != e2 {
+		t.Errorf("two identical runs diverged: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			q1, a1, i1, e1, q2, a2, i2, e2)
+	}
+}
+
+func TestActivityCountersConsistent(t *testing.T) {
+	cfg := DefaultConfig()
+	n := runUniform(t, cfg, 0.2, 3000, 5)
+	if !n.Drain(20000) {
+		t.Fatal("drain failed")
+	}
+	act := n.Activity()
+	// Every flit written into a buffer is eventually read out of it.
+	if act.BufWrites != act.BufReads {
+		t.Errorf("buffer writes %d != reads %d after drain", act.BufWrites, act.BufReads)
+	}
+	// Every buffer read is a crossbar traversal.
+	if act.BufReads != act.XbarTraversals {
+		t.Errorf("reads %d != crossbar traversals %d", act.BufReads, act.XbarTraversals)
+	}
+	// Flits leave the network exactly as often as they enter it.
+	if act.InjectFlits != act.EjectFlits {
+		t.Errorf("injected %d != ejected %d", act.InjectFlits, act.EjectFlits)
+	}
+	// Each flit is written once per router it traverses: inject writes plus
+	// one write per link traversal.
+	if act.BufWrites != act.InjectFlits+act.LinkFlits {
+		t.Errorf("writes %d != inject %d + link %d", act.BufWrites, act.InjectFlits, act.LinkFlits)
+	}
+	// SA grants equal crossbar traversals in this router (one grant moves
+	// one flit).
+	if act.SAAllocs != act.XbarTraversals {
+		t.Errorf("SA grants %d != traversals %d", act.SAAllocs, act.XbarTraversals)
+	}
+	// One VC allocation per packet per traversed router.
+	queued, _, _, _ := n.Stats()
+	if act.VCAllocs < queued {
+		t.Errorf("VC allocations %d below packet count %d", act.VCAllocs, queued)
+	}
+}
+
+func TestRouterActivitySubAdd(t *testing.T) {
+	a := RouterActivity{BufWrites: 10, BufReads: 8, XbarTraversals: 8, VCAllocs: 2, SAAllocs: 8, LinkFlits: 5, EjectFlits: 3, InjectFlits: 4}
+	b := RouterActivity{BufWrites: 4, BufReads: 3, XbarTraversals: 3, VCAllocs: 1, SAAllocs: 3, LinkFlits: 2, EjectFlits: 1, InjectFlits: 2}
+	d := a.Sub(b)
+	d.Add(b)
+	if d != a {
+		t.Errorf("Sub then Add != identity: %+v vs %+v", d, a)
+	}
+}
+
+func TestSingleVCNetworkStillDelivers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VCs = 1
+	cfg.BufDepth = 1
+	cfg.PacketSize = 3
+	n := runUniform(t, cfg, 0.05, 2000, 9)
+	if !n.Drain(50000) {
+		t.Fatal("1-VC/1-buffer network failed to drain")
+	}
+	queued, arrived, _, _ := n.Stats()
+	if queued == 0 {
+		t.Fatal("no packets generated")
+	}
+	if queued != arrived {
+		t.Errorf("queued %d != arrived %d", queued, arrived)
+	}
+}
+
+func TestYXRoutingDelivers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Routing = RoutingYX
+	n := runUniform(t, cfg, 0.15, 2000, 11)
+	if !n.Drain(20000) {
+		t.Fatal("YX network failed to drain")
+	}
+	queued, arrived, _, _ := n.Stats()
+	if queued != arrived {
+		t.Errorf("queued %d != arrived %d", queued, arrived)
+	}
+}
+
+func TestO1TURNRoutingDelivers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Routing = RoutingO1TURN
+	n := runUniform(t, cfg, 0.15, 2000, 13)
+	if !n.Drain(20000) {
+		t.Fatal("O1TURN network failed to drain")
+	}
+	queued, arrived, _, _ := n.Stats()
+	if queued != arrived {
+		t.Errorf("queued %d != arrived %d", queued, arrived)
+	}
+}
+
+func TestRectangularMeshes(t *testing.T) {
+	for _, dims := range [][2]int{{2, 8}, {8, 2}, {1, 9}, {3, 5}} {
+		cfg := DefaultConfig()
+		cfg.Width, cfg.Height = dims[0], dims[1]
+		cfg.PacketSize = 5
+		n := runUniform(t, cfg, 0.05, 1500, 17)
+		if !n.Drain(50000) {
+			t.Fatalf("%dx%d mesh failed to drain", dims[0], dims[1])
+		}
+		queued, arrived, _, _ := n.Stats()
+		if queued != arrived {
+			t.Errorf("%dx%d: queued %d != arrived %d", dims[0], dims[1], queued, arrived)
+		}
+	}
+}

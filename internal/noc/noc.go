@@ -1,0 +1,24 @@
+// Package noc implements a cycle-accurate network-on-chip simulator for a
+// 2-D mesh of input-queued virtual-channel wormhole routers with
+// credit-based flow control, in the style of Stanford's Booksim 2 (the
+// simulator used by Casu & Giaccone, "Rate-based vs Delay-based Control for
+// DVFS in NoC", DATE 2015).
+//
+// The router is the canonical four-stage pipeline:
+//
+//	RC  — route computation for the head flit at the front of an input VC
+//	VA  — virtual-channel allocation (separable, input-first, round-robin)
+//	SA  — switch allocation (two-phase round-robin: per-input then per-output)
+//	ST+LT — switch and link traversal; the flit is written into the
+//	        downstream input buffer one cycle later, and a credit is
+//	        returned upstream with one cycle of delay
+//
+// The package is deliberately agnostic of real time: it advances in network
+// clock cycles. DVFS (variable network frequency against a fixed node
+// frequency) is layered on top by package sim, which converts cycles to
+// seconds and drives the injection processes in the node clock domain.
+//
+// All randomness used inside the network (e.g. O1TURN dimension selection)
+// is injected by the caller, keeping simulations fully deterministic for a
+// given seed.
+package noc

@@ -1,0 +1,65 @@
+package noc
+
+import "fmt"
+
+// Port identifies one of the five ports of a mesh router. PortLocal connects
+// the router to its processing element (injection on the input side,
+// ejection on the output side); the four cardinal ports connect to the
+// neighbouring routers.
+type Port int
+
+// Router port indices. The coordinate convention is x growing eastwards and
+// y growing southwards, so PortNorth leads to the router at (x, y-1) and
+// PortSouth to (x, y+1).
+const (
+	PortLocal Port = iota
+	PortNorth
+	PortEast
+	PortSouth
+	PortWest
+
+	// NumPorts is the number of ports on a mesh router.
+	NumPorts int = iota
+)
+
+var portNames = [...]string{"local", "north", "east", "south", "west"}
+
+// String returns the lower-case name of the port.
+func (p Port) String() string {
+	if p < 0 || int(p) >= NumPorts {
+		return fmt.Sprintf("port(%d)", int(p))
+	}
+	return portNames[p]
+}
+
+// Opposite returns the port on the neighbouring router that faces p: a flit
+// leaving through PortEast arrives on the neighbour's PortWest, and so on.
+// Opposite panics for PortLocal, which has no peer router.
+func (p Port) Opposite() Port {
+	switch p {
+	case PortNorth:
+		return PortSouth
+	case PortSouth:
+		return PortNorth
+	case PortEast:
+		return PortWest
+	case PortWest:
+		return PortEast
+	}
+	panic("noc: PortLocal has no opposite port")
+}
+
+// delta returns the coordinate displacement of the router reached through p.
+func (p Port) delta() (dx, dy int) {
+	switch p {
+	case PortNorth:
+		return 0, -1
+	case PortSouth:
+		return 0, 1
+	case PortEast:
+		return 1, 0
+	case PortWest:
+		return -1, 0
+	}
+	return 0, 0
+}

@@ -1,0 +1,85 @@
+package noc
+
+import "testing"
+
+func TestPortString(t *testing.T) {
+	tests := []struct {
+		p    Port
+		want string
+	}{
+		{PortLocal, "local"},
+		{PortNorth, "north"},
+		{PortEast, "east"},
+		{PortSouth, "south"},
+		{PortWest, "west"},
+		{Port(9), "port(9)"},
+		{Port(-1), "port(-1)"},
+	}
+	for _, tc := range tests {
+		if got := tc.p.String(); got != tc.want {
+			t.Errorf("Port(%d).String() = %q, want %q", int(tc.p), got, tc.want)
+		}
+	}
+}
+
+func TestPortOpposite(t *testing.T) {
+	tests := []struct{ p, want Port }{
+		{PortNorth, PortSouth},
+		{PortSouth, PortNorth},
+		{PortEast, PortWest},
+		{PortWest, PortEast},
+	}
+	for _, tc := range tests {
+		if got := tc.p.Opposite(); got != tc.want {
+			t.Errorf("%v.Opposite() = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestPortOppositeInvolution(t *testing.T) {
+	for p := PortNorth; p <= PortWest; p++ {
+		if got := p.Opposite().Opposite(); got != p {
+			t.Errorf("%v.Opposite().Opposite() = %v", p, got)
+		}
+	}
+}
+
+func TestPortOppositeLocalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PortLocal.Opposite() did not panic")
+		}
+	}()
+	PortLocal.Opposite()
+}
+
+func TestPortDelta(t *testing.T) {
+	tests := []struct {
+		p      Port
+		dx, dy int
+	}{
+		{PortLocal, 0, 0},
+		{PortNorth, 0, -1},
+		{PortSouth, 0, 1},
+		{PortEast, 1, 0},
+		{PortWest, -1, 0},
+	}
+	for _, tc := range tests {
+		dx, dy := tc.p.delta()
+		if dx != tc.dx || dy != tc.dy {
+			t.Errorf("%v.delta() = (%d,%d), want (%d,%d)", tc.p, dx, dy, tc.dx, tc.dy)
+		}
+	}
+}
+
+func TestPortDeltaMatchesOpposite(t *testing.T) {
+	// Moving through p and then through p.Opposite() must return to the
+	// starting coordinates.
+	for p := PortNorth; p <= PortWest; p++ {
+		dx1, dy1 := p.delta()
+		dx2, dy2 := p.Opposite().delta()
+		if dx1+dx2 != 0 || dy1+dy2 != 0 {
+			t.Errorf("%v and its opposite do not cancel: (%d,%d)+(%d,%d)", p, dx1, dy1, dx2, dy2)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package noc
+
+// flitRing is a fixed-capacity FIFO of flits used as a virtual-channel
+// buffer. It never allocates after construction.
+type flitRing struct {
+	items []*Flit
+	head  int
+	count int
+}
+
+func newFlitRing(capacity int) flitRing {
+	return flitRing{items: make([]*Flit, capacity)}
+}
+
+// Len returns the number of buffered flits.
+func (r *flitRing) Len() int { return r.count }
+
+// Cap returns the buffer capacity in flits.
+func (r *flitRing) Cap() int { return len(r.items) }
+
+// Full reports whether the buffer has no free slots.
+func (r *flitRing) Full() bool { return r.count == len(r.items) }
+
+// Push appends a flit; it panics on overflow, which indicates a flow
+// control bug (credits must prevent overflow).
+func (r *flitRing) Push(f *Flit) {
+	if r.Full() {
+		panic("noc: VC buffer overflow (flow-control violation)")
+	}
+	r.items[(r.head+r.count)%len(r.items)] = f
+	r.count++
+}
+
+// Front returns the oldest flit without removing it, or nil if empty.
+func (r *flitRing) Front() *Flit {
+	if r.count == 0 {
+		return nil
+	}
+	return r.items[r.head]
+}
+
+// Pop removes and returns the oldest flit; it panics if the buffer is empty.
+func (r *flitRing) Pop() *Flit {
+	if r.count == 0 {
+		panic("noc: pop from empty VC buffer")
+	}
+	f := r.items[r.head]
+	r.items[r.head] = nil
+	r.head = (r.head + 1) % len(r.items)
+	r.count--
+	return f
+}
+
+// packetQueue is an unbounded FIFO of packets backing a node's source
+// queue. It uses a slice with amortized compaction.
+type packetQueue struct {
+	items []*Packet
+	head  int
+}
+
+// Len returns the number of queued packets.
+func (q *packetQueue) Len() int { return len(q.items) - q.head }
+
+// Push appends a packet.
+func (q *packetQueue) Push(p *Packet) { q.items = append(q.items, p) }
+
+// Front returns the oldest packet, or nil if the queue is empty.
+func (q *packetQueue) Front() *Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+// Pop removes and returns the oldest packet; nil if empty.
+func (q *packetQueue) Pop() *Packet {
+	if q.Len() == 0 {
+		return nil
+	}
+	p := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.items) {
+		n := copy(q.items, q.items[q.head:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return p
+}

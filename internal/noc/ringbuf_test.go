@@ -1,0 +1,119 @@
+package noc
+
+import "testing"
+
+func TestFlitRingFIFO(t *testing.T) {
+	r := newFlitRing(4)
+	if r.Len() != 0 || r.Cap() != 4 || r.Full() {
+		t.Fatalf("fresh ring: len=%d cap=%d full=%v", r.Len(), r.Cap(), r.Full())
+	}
+	flits := make([]*Flit, 4)
+	for i := range flits {
+		flits[i] = &Flit{Seq: i}
+		r.Push(flits[i])
+	}
+	if !r.Full() {
+		t.Error("ring should be full after 4 pushes")
+	}
+	for i := range flits {
+		if got := r.Front(); got != flits[i] {
+			t.Fatalf("Front() = %v, want flit %d", got, i)
+		}
+		if got := r.Pop(); got != flits[i] {
+			t.Fatalf("Pop() = %v, want flit %d", got, i)
+		}
+	}
+	if r.Front() != nil {
+		t.Error("Front() on empty ring should be nil")
+	}
+}
+
+func TestFlitRingWrapAround(t *testing.T) {
+	r := newFlitRing(3)
+	seq := 0
+	// Repeatedly push 2, pop 1 to force wrap-around, checking order.
+	expect := 0
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 2 && !r.Full(); j++ {
+			r.Push(&Flit{Seq: seq})
+			seq++
+		}
+		got := r.Pop()
+		if got.Seq != expect {
+			t.Fatalf("iteration %d: popped seq %d, want %d", i, got.Seq, expect)
+		}
+		expect++
+	}
+}
+
+func TestFlitRingOverflowPanics(t *testing.T) {
+	r := newFlitRing(2)
+	r.Push(&Flit{})
+	r.Push(&Flit{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("push to full ring did not panic")
+		}
+	}()
+	r.Push(&Flit{})
+}
+
+func TestFlitRingUnderflowPanics(t *testing.T) {
+	r := newFlitRing(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop from empty ring did not panic")
+		}
+	}()
+	r.Pop()
+}
+
+func TestPacketQueueFIFO(t *testing.T) {
+	var q packetQueue
+	if q.Len() != 0 || q.Front() != nil || q.Pop() != nil {
+		t.Fatal("empty queue misbehaves")
+	}
+	pkts := make([]*Packet, 10)
+	for i := range pkts {
+		pkts[i] = &Packet{ID: int64(i)}
+		q.Push(pkts[i])
+	}
+	for i := range pkts {
+		if q.Front() != pkts[i] {
+			t.Fatalf("Front() out of order at %d", i)
+		}
+		if q.Pop() != pkts[i] {
+			t.Fatalf("Pop() out of order at %d", i)
+		}
+	}
+}
+
+func TestPacketQueueCompaction(t *testing.T) {
+	// Exercise the compaction path: push and pop many packets and check
+	// order is preserved throughout.
+	var q packetQueue
+	next, expect := int64(0), int64(0)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 7; i++ {
+			q.Push(&Packet{ID: next})
+			next++
+		}
+		for i := 0; i < 5; i++ {
+			p := q.Pop()
+			if p.ID != expect {
+				t.Fatalf("popped %d, want %d", p.ID, expect)
+			}
+			expect++
+		}
+	}
+	for q.Len() > 0 {
+		p := q.Pop()
+		if p.ID != expect {
+			t.Fatalf("drain popped %d, want %d", p.ID, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("drained %d packets, pushed %d", expect, next)
+	}
+}

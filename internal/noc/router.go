@@ -1,0 +1,372 @@
+package noc
+
+// vcStage is the pipeline state of an input virtual channel.
+type vcStage uint8
+
+const (
+	// vcIdle: no packet occupies the VC.
+	vcIdle vcStage = iota
+	// vcRouting: a head flit is at the front and awaits route computation.
+	vcRouting
+	// vcWaitVC: route computed, waiting for a downstream VC grant.
+	vcWaitVC
+	// vcActive: output VC allocated, flits compete for the switch.
+	vcActive
+)
+
+// inputVC is the per-virtual-channel state of a router input port.
+type inputVC struct {
+	buf   flitRing
+	stage vcStage
+	// outPort is the routed output port (valid from vcWaitVC onwards).
+	outPort Port
+	// outVC is the allocated downstream VC (valid in vcActive).
+	outVC int
+	// readyCycle is the earliest network cycle at which this VC may take
+	// its next pipeline step; it enforces one stage per cycle.
+	readyCycle int64
+}
+
+// outputVC is the per-virtual-channel state of a router output port. It
+// tracks downstream buffer credits and the current owning input VC.
+type outputVC struct {
+	// owner is the flat input VC index (port*VCs+vc) holding this output
+	// VC, or -1 when free.
+	owner int
+	// credits is the number of free slots in the downstream input buffer.
+	// Ejection (local) output VCs are replenished implicitly: the PE
+	// consumes flits at link rate, so credits are pinned at BufDepth.
+	credits int
+}
+
+// Router is one input-queued virtual-channel router of the mesh.
+type Router struct {
+	id   NodeID
+	x, y int
+	net  *Network
+
+	// in[port][vc] and out[port][vc] hold the VC state.
+	in  [][]inputVC
+	out [][]outputVC
+
+	// neighbor[port] is the adjacent router reached through port, or nil
+	// at mesh edges and for PortLocal.
+	neighbor [NumPorts]*Router
+
+	// Round-robin priority pointers for the allocators.
+	vaPri    [NumPorts]int // per output port, rotates over flat input VC index
+	saInPri  [NumPorts]int // per input port, rotates over its VCs
+	saOutPri [NumPorts]int // per output port, rotates over input ports
+
+	// Scratch space reused every cycle by the allocators.
+	vaReq    [NumPorts][]int // requester flat input VC indices per output port
+	saInWin  [NumPorts]int   // per input port: winning VC of SA input phase, -1 none
+	saOutWin [NumPorts]int   // per output port: winning input port, -1 none
+
+	// Stage population counters let step skip empty pipeline stages; they
+	// are pure accounting and carry no semantics beyond "how many input
+	// VCs are currently in each stage".
+	nRouting int
+	nWaitVC  int
+	nActive  int
+
+	// Activity is the per-router event accumulator for power estimation.
+	Activity RouterActivity
+}
+
+// ID returns the router's node id.
+func (r *Router) ID() NodeID { return r.id }
+
+func newRouter(net *Network, id NodeID) *Router {
+	cfg := &net.cfg
+	r := &Router{id: id, net: net}
+	r.x, r.y = cfg.Coord(id)
+	r.in = make([][]inputVC, NumPorts)
+	r.out = make([][]outputVC, NumPorts)
+	for p := 0; p < NumPorts; p++ {
+		r.in[p] = make([]inputVC, cfg.VCs)
+		r.out[p] = make([]outputVC, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			r.in[p][v] = inputVC{buf: newFlitRing(cfg.BufDepth)}
+			r.out[p][v] = outputVC{owner: -1, credits: cfg.BufDepth}
+		}
+		r.vaReq[p] = make([]int, 0, NumPorts*cfg.VCs)
+	}
+	return r
+}
+
+// flatVC packs (port, vc) into a single index.
+func (r *Router) flatVC(p Port, vc int) int { return int(p)*r.net.cfg.VCs + vc }
+
+// unflatVC unpacks a flat input VC index.
+func (r *Router) unflatVC(idx int) (Port, int) {
+	return Port(idx / r.net.cfg.VCs), idx % r.net.cfg.VCs
+}
+
+// acceptFlit is called by the network's delivery phase when a flit arrives
+// on an input port (from a neighbouring router's link or from the local
+// injection source).
+func (r *Router) acceptFlit(p Port, f *Flit, cycle int64) {
+	ivc := &r.in[p][f.VC]
+	wasEmpty := ivc.buf.Len() == 0
+	ivc.buf.Push(f)
+	r.Activity.BufWrites++
+	if p == PortLocal {
+		r.Activity.InjectFlits++
+	}
+	// A head flit arriving at the front of an idle VC starts the pipeline
+	// on the next cycle.
+	if wasEmpty && ivc.stage == vcIdle {
+		if !f.Head {
+			panic("noc: body flit arrived at idle VC without a head")
+		}
+		ivc.stage = vcRouting
+		ivc.readyCycle = cycle + 1
+		r.nRouting++
+	}
+}
+
+// acceptCredit is called by the delivery phase when a credit returns for
+// output port p, virtual channel vc.
+func (r *Router) acceptCredit(p Port, vc int) {
+	ovc := &r.out[p][vc]
+	ovc.credits++
+	if ovc.credits > r.net.cfg.BufDepth {
+		panic("noc: credit overflow (more credits than buffer slots)")
+	}
+}
+
+// stageRC performs route computation for all input VCs that are ready.
+func (r *Router) stageRC(cycle int64) {
+	cfg := &r.net.cfg
+	for p := 0; p < NumPorts; p++ {
+		for v := range r.in[p] {
+			ivc := &r.in[p][v]
+			if ivc.stage != vcRouting || ivc.readyCycle > cycle {
+				continue
+			}
+			head := ivc.buf.Front()
+			if head == nil {
+				continue // head flit not yet buffered
+			}
+			ivc.outPort = RoutePort(cfg, r.id, head.Packet)
+			ivc.stage = vcWaitVC
+			ivc.readyCycle = cycle + 1
+			r.nRouting--
+			r.nWaitVC++
+		}
+	}
+}
+
+// stageVA performs separable input-first round-robin VC allocation: each
+// waiting input VC requests its routed output port; each output port grants
+// its free VCs to requesters in round-robin order.
+func (r *Router) stageVA(cycle int64) {
+	cfg := &r.net.cfg
+	for p := range r.vaReq {
+		r.vaReq[p] = r.vaReq[p][:0]
+	}
+	for p := 0; p < NumPorts; p++ {
+		for v := range r.in[p] {
+			ivc := &r.in[p][v]
+			if ivc.stage == vcWaitVC && ivc.readyCycle <= cycle {
+				r.vaReq[ivc.outPort] = append(r.vaReq[ivc.outPort], r.flatVC(Port(p), v))
+			}
+		}
+	}
+	total := NumPorts * cfg.VCs
+	for op := 0; op < NumPorts; op++ {
+		reqs := r.vaReq[op]
+		if len(reqs) == 0 {
+			continue
+		}
+		// Free output VCs in index order.
+		free := make([]int, 0, cfg.VCs)
+		for ov := range r.out[op] {
+			if r.out[op][ov].owner < 0 {
+				free = append(free, ov)
+			}
+		}
+		if len(free) == 0 {
+			continue
+		}
+		// Requesters in round-robin order starting at the priority pointer.
+		granted := 0
+		pri := r.vaPri[op]
+		for off := 0; off < total && granted < len(free); off++ {
+			want := (pri + off) % total
+			for _, req := range reqs {
+				if req != want {
+					continue
+				}
+				ip, iv := r.unflatVC(req)
+				ivc := &r.in[ip][iv]
+				ov := free[granted]
+				granted++
+				r.out[op][ov].owner = req
+				ivc.outVC = ov
+				ivc.stage = vcActive
+				ivc.readyCycle = cycle + 1
+				r.nWaitVC--
+				r.nActive++
+				r.Activity.VCAllocs++
+				r.vaPri[op] = (req + 1) % total
+				break
+			}
+		}
+	}
+}
+
+// stageSA performs two-phase round-robin switch allocation and, for the
+// winners, switch traversal: the flit is dequeued, sent on the output link
+// (arriving downstream next cycle) and a credit is scheduled upstream.
+func (r *Router) stageSA(cycle int64) {
+	cfg := &r.net.cfg
+	// Input phase: each input port nominates one eligible VC.
+	for p := 0; p < NumPorts; p++ {
+		r.saInWin[p] = -1
+		pri := r.saInPri[p]
+		for off := 0; off < cfg.VCs; off++ {
+			v := (pri + off) % cfg.VCs
+			ivc := &r.in[p][v]
+			if ivc.stage != vcActive || ivc.readyCycle > cycle || ivc.buf.Len() == 0 {
+				continue
+			}
+			if r.out[ivc.outPort][ivc.outVC].credits <= 0 {
+				continue
+			}
+			r.saInWin[p] = v
+			break
+		}
+	}
+	// Output phase: each output port grants one input port.
+	for op := 0; op < NumPorts; op++ {
+		r.saOutWin[op] = -1
+		pri := r.saOutPri[op]
+		for off := 0; off < NumPorts; off++ {
+			ip := (pri + off) % NumPorts
+			v := r.saInWin[ip]
+			if v < 0 || r.in[ip][v].outPort != Port(op) {
+				continue
+			}
+			r.saOutWin[op] = ip
+			break
+		}
+	}
+	// Traversal for the winners.
+	for op := 0; op < NumPorts; op++ {
+		ip := r.saOutWin[op]
+		if ip < 0 {
+			continue
+		}
+		v := r.saInWin[ip]
+		ivc := &r.in[ip][v]
+		flit := ivc.buf.Pop()
+		r.Activity.BufReads++
+		r.Activity.XbarTraversals++
+		r.Activity.SAAllocs++
+		r.saInPri[ip] = (v + 1) % cfg.VCs
+		r.saOutPri[op] = (ip + 1) % NumPorts
+
+		ovc := &r.out[op][ivc.outVC]
+		flit.VC = ivc.outVC
+
+		// Send the flit: ejection to the local PE, otherwise on the link.
+		if Port(op) == PortLocal {
+			r.Activity.EjectFlits++
+			r.net.stageEject(r.id, flit, cycle+1)
+			// Ejection consumes at link rate: restore the credit
+			// immediately so local output VCs never block on credits.
+		} else {
+			r.Activity.LinkFlits++
+			ovc.credits--
+			r.net.stageFlit(r.neighbor[op], Port(op).Opposite(), flit, cycle+1)
+			if flit.Head {
+				flit.Packet.Hops++
+			}
+		}
+
+		// Return a credit upstream for the freed buffer slot.
+		r.net.stageCredit(r, Port(ip), v, cycle+1)
+
+		// Tail departure releases the input VC and the output VC.
+		if flit.Tail {
+			ovc.owner = -1
+			ivc.stage = vcIdle
+			ivc.outVC = -1
+			r.nActive--
+			// If the next packet's head is already buffered behind the
+			// tail, restart the pipeline for it.
+			if next := ivc.buf.Front(); next != nil {
+				if !next.Head {
+					panic("noc: flit following a tail is not a head")
+				}
+				ivc.stage = vcRouting
+				ivc.readyCycle = cycle + 1
+				r.nRouting++
+			}
+		}
+	}
+}
+
+// step runs one cycle of the router pipeline. Delivery of staged flits and
+// credits has already happened for this cycle. Empty stages are skipped
+// via the population counters.
+func (r *Router) step(cycle int64) {
+	if r.nRouting > 0 {
+		r.stageRC(cycle)
+	}
+	if r.nWaitVC > 0 {
+		r.stageVA(cycle)
+	}
+	if r.nActive > 0 {
+		r.stageSA(cycle)
+	}
+}
+
+// occupancy returns the total number of flits buffered in the router.
+func (r *Router) occupancy() int {
+	n := 0
+	for p := 0; p < NumPorts; p++ {
+		for v := range r.in[p] {
+			n += r.in[p][v].buf.Len()
+		}
+	}
+	return n
+}
+
+// checkInvariants panics if credit accounting is inconsistent; used by
+// tests via Network.CheckInvariants.
+func (r *Router) checkInvariants() {
+	cfg := &r.net.cfg
+	var nR, nW, nA int
+	for p := 0; p < NumPorts; p++ {
+		for v := range r.in[p] {
+			switch r.in[p][v].stage {
+			case vcRouting:
+				nR++
+			case vcWaitVC:
+				nW++
+			case vcActive:
+				nA++
+			}
+		}
+	}
+	if nR != r.nRouting || nW != r.nWaitVC || nA != r.nActive {
+		panic("noc: stage population counters out of sync")
+	}
+	for p := 0; p < NumPorts; p++ {
+		for v := range r.out[p] {
+			ovc := &r.out[p][v]
+			if ovc.credits < 0 || ovc.credits > cfg.BufDepth {
+				panic("noc: output VC credits out of range")
+			}
+		}
+		for v := range r.in[p] {
+			ivc := &r.in[p][v]
+			if ivc.stage == vcIdle && ivc.buf.Len() != 0 {
+				panic("noc: idle input VC holds flits")
+			}
+		}
+	}
+}

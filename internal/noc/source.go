@@ -1,0 +1,124 @@
+package noc
+
+// source models the traffic injection port of one node: an unbounded
+// source queue of generated packets feeding the router's local input port
+// one flit per network cycle, with per-VC credit tracking. It mirrors
+// Booksim's infinite source queue, so measured packet latency includes
+// source-queue waiting time — essential for the latency blow-up at
+// saturation that the RMSD policy exploits.
+type source struct {
+	node   NodeID
+	queue  packetQueue
+	router *Router
+
+	// credits[v] counts free slots in the router's local input VC v.
+	credits []int
+	// outstanding[v] counts flits sent on VC v whose credits have not yet
+	// returned; the VC can host a new packet only when it has fully
+	// drained (outstanding == 0) after the tail was sent.
+	outstanding []int
+	// tailSent[v] reports whether the tail of the current packet on VC v
+	// has been sent.
+	tailSent []bool
+	// busy[v] reports whether VC v is reserved by a (possibly draining)
+	// packet.
+	busy []bool
+
+	// cur is the packet currently being serialized, if any.
+	cur    *Packet
+	curVC  int
+	curSeq int
+
+	rrVC int // round-robin pointer for VC selection
+}
+
+func newSource(node NodeID, r *Router, cfg *Config) *source {
+	s := &source{
+		node:        node,
+		router:      r,
+		credits:     make([]int, cfg.VCs),
+		outstanding: make([]int, cfg.VCs),
+		tailSent:    make([]bool, cfg.VCs),
+		busy:        make([]bool, cfg.VCs),
+	}
+	for v := range s.credits {
+		s.credits[v] = cfg.BufDepth
+		s.tailSent[v] = true
+	}
+	return s
+}
+
+// acceptCredit processes a credit returned by the router's local input port.
+func (s *source) acceptCredit(vc int) {
+	s.credits[vc]++
+	s.outstanding[vc]--
+	if s.outstanding[vc] < 0 {
+		panic("noc: source credit underflow")
+	}
+	if s.busy[vc] && s.tailSent[vc] && s.outstanding[vc] == 0 {
+		s.busy[vc] = false
+	}
+}
+
+// step sends at most one flit into the router's local input port.
+func (s *source) step(cycle int64, cfg *Config) {
+	if s.cur == nil {
+		s.startPacket(cycle, cfg)
+	}
+	if s.cur == nil {
+		return
+	}
+	if s.credits[s.curVC] <= 0 {
+		return
+	}
+	p := s.cur
+	f := &Flit{
+		Packet: p,
+		Seq:    s.curSeq,
+		Head:   s.curSeq == 0,
+		Tail:   s.curSeq == p.Size-1,
+		VC:     s.curVC,
+	}
+	s.credits[s.curVC]--
+	s.outstanding[s.curVC]++
+	s.router.net.stageFlit(s.router, PortLocal, f, cycle+1)
+	if f.Head {
+		p.InjectCycle = cycle
+	}
+	s.curSeq++
+	if f.Tail {
+		s.tailSent[s.curVC] = true
+		s.cur = nil
+	}
+}
+
+// startPacket pops the next queued packet and reserves a free local VC for
+// it, if one is available.
+func (s *source) startPacket(cycle int64, cfg *Config) {
+	if s.queue.Len() == 0 {
+		return
+	}
+	for off := 0; off < cfg.VCs; off++ {
+		v := (s.rrVC + off) % cfg.VCs
+		if s.busy[v] {
+			continue
+		}
+		s.rrVC = (v + 1) % cfg.VCs
+		s.cur = s.queue.Pop()
+		s.curVC = v
+		s.curSeq = 0
+		s.busy[v] = true
+		s.tailSent[v] = false
+		return
+	}
+}
+
+// pendingFlits returns the number of flits still owed to the network:
+// queued packets plus the unsent remainder of the current packet.
+func (s *source) pendingFlits(cfg *Config) int64 {
+	n := int64(s.queue.Len()) * int64(cfg.PacketSize)
+	if s.cur != nil {
+		n += int64(s.cur.Size - s.curSeq)
+	}
+	return n
+}

@@ -1,0 +1,207 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := New().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := New()
+	m.Mu0 = 0
+	if err := m.Validate(); err == nil {
+		t.Error("accepted zero Mu0")
+	}
+	m = New()
+	m.FMin, m.FMax = 2e9, 1e9
+	if err := m.Validate(); err == nil {
+		t.Error("accepted reversed range")
+	}
+	m = New()
+	m.PDyn0 = -1
+	if err := m.Validate(); err == nil {
+		t.Error("accepted negative power weight")
+	}
+}
+
+func TestSojournMatchesMM1(t *testing.T) {
+	m := New()
+	// µ = 1e9 at FMax; at λ = 0.5e9, W = 1/(1e9-0.5e9) = 2 ns.
+	if got := m.Sojourn(0.5e9, m.FMax); math.Abs(got-2e-9) > 1e-15 {
+		t.Errorf("W = %g, want 2 ns", got)
+	}
+	if got := m.Sojourn(2e9, m.FMax); !math.IsInf(got, 1) {
+		t.Errorf("unstable queue W = %g, want +Inf", got)
+	}
+}
+
+func TestFreqRMSDLaw(t *testing.T) {
+	m := New()
+	const rho = 0.9
+	// In-range: F = λ/(ρ·µ0).
+	lambda := 0.6e9
+	want := lambda / rho
+	if got := m.FreqRMSD(lambda, rho); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("F = %g, want %g", got, want)
+	}
+	// Clipping.
+	if got := m.FreqRMSD(1e6, rho); got != m.FMin {
+		t.Errorf("low-rate F = %g, want FMin", got)
+	}
+	if got := m.FreqRMSD(2e9, rho); got != m.FMax {
+		t.Errorf("high-rate F = %g, want FMax", got)
+	}
+	// Degenerate rho falls back to FMax.
+	if got := m.FreqRMSD(0.5e9, 0); got != m.FMax {
+		t.Errorf("rho=0 F = %g, want FMax", got)
+	}
+}
+
+func TestFreqDMSDHitsTarget(t *testing.T) {
+	m := New()
+	target := 5e-9
+	for _, lambda := range []float64{0.2e9, 0.4e9, 0.6e9} {
+		f := m.FreqDMSD(lambda, target)
+		if f == m.FMin || f == m.FMax {
+			continue // clipped: target not exactly met
+		}
+		if got := m.Sojourn(lambda, f); math.Abs(got-target)/target > 1e-9 {
+			t.Errorf("λ=%g: W = %g, want %g", lambda, got, target)
+		}
+	}
+	if got := m.FreqDMSD(0.5e9, 0); got != m.FMax {
+		t.Errorf("zero target F = %g, want FMax", got)
+	}
+}
+
+func TestRMSDUtilizationConstantInRangeQuick(t *testing.T) {
+	m := New()
+	const rho = 0.9
+	f := func(raw uint16) bool {
+		lambda := m.LambdaMin(rho) + (rho*m.MaxArrivalRate()-m.LambdaMin(rho))*float64(raw)/65535
+		fr := m.FreqRMSD(lambda, rho)
+		if fr == m.FMin || fr == m.FMax {
+			return true
+		}
+		util := lambda / (m.Mu0 * fr)
+		return math.Abs(util-rho) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRMSDDelayNonMonotonic(t *testing.T) {
+	// The analytic anomaly: delay rises up to λmin, then falls.
+	m := New()
+	const rho = 0.9
+	law := func(l float64) float64 { return m.FreqRMSD(l, rho) }
+	pts := m.Sweep(law, rho*0.99, 200)
+	lmin := m.LambdaMin(rho)
+	peakIdx := 0
+	for i, p := range pts {
+		if p.DelayS > pts[peakIdx].DelayS {
+			peakIdx = i
+		}
+	}
+	peakLambda := pts[peakIdx].Lambda
+	if math.Abs(peakLambda-lmin)/lmin > 0.05 {
+		t.Errorf("delay peak at λ=%g, want λmin=%g", peakLambda, lmin)
+	}
+	// Monotone increasing before the peak, decreasing after.
+	for i := 1; i <= peakIdx; i++ {
+		if pts[i].DelayS < pts[i-1].DelayS {
+			t.Fatalf("delay not increasing below λmin at %d", i)
+		}
+	}
+	for i := peakIdx + 1; i < len(pts); i++ {
+		if pts[i].DelayS > pts[i-1].DelayS {
+			t.Fatalf("delay not decreasing above λmin at %d", i)
+		}
+	}
+}
+
+func TestRMSDPeakRatioOrderOfMagnitude(t *testing.T) {
+	// The paper annotates ~9x in the NoC; the pure M/M/1 model gives the
+	// same order of magnitude for ρmax = 0.9.
+	m := New()
+	ratio := m.RMSDPeakRatio(0.9)
+	if ratio < 3 || ratio > 40 {
+		t.Errorf("analytic peak ratio %.1f outside plausible band [3, 40]", ratio)
+	}
+}
+
+func TestPowerOrderingAcrossPolicies(t *testing.T) {
+	// At every stable arrival rate: P(RMSD) <= P(DMSD) <= P(NoDVFS),
+	// because RMSD runs at the lowest frequency of the three.
+	m := New()
+	const rho = 0.9
+	target := 4e-9
+	for _, frac := range []float64{0.1, 0.3, 0.5, 0.7} {
+		lambda := frac * m.MaxArrivalRate()
+		fr := m.FreqRMSD(lambda, rho)
+		fd := m.FreqDMSD(lambda, target)
+		pn := m.Power(lambda, m.FMax)
+		pr := m.Power(lambda, fr)
+		pd := m.Power(lambda, fd)
+		if pr > pd+1e-12 || pd > pn+1e-12 {
+			t.Errorf("λ=%.2g: power ordering violated: rmsd %.3g dmsd %.3g nodvfs %.3g",
+				lambda, pr, pd, pn)
+		}
+	}
+}
+
+func TestPowerMonotoneInFrequencyQuick(t *testing.T) {
+	m := New()
+	f := func(a, b uint16) bool {
+		f1 := m.FMin + (m.FMax-m.FMin)*float64(a)/65535
+		f2 := m.FMin + (m.FMax-m.FMin)*float64(b)/65535
+		if f1 > f2 {
+			f1, f2 = f2, f1
+		}
+		lambda := 0.2 * m.MaxArrivalRate()
+		return m.Power(lambda, f1) <= m.Power(lambda, f2)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	m := New()
+	pts := m.Sweep(m.FreqNoDVFS, 0.9, 10)
+	if len(pts) != 10 {
+		t.Fatalf("sweep length %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Lambda <= pts[i-1].Lambda {
+			t.Fatal("sweep not monotone in lambda")
+		}
+		if pts[i].DelayS < pts[i-1].DelayS {
+			t.Fatal("No-DVFS delay must rise with load")
+		}
+	}
+	if m.Sweep(m.FreqNoDVFS, 0.9, 0) != nil {
+		t.Error("zero-point sweep should be nil")
+	}
+}
+
+func TestDMSDDelayFlatWhereFeasible(t *testing.T) {
+	m := New()
+	target := 4e-9
+	law := func(l float64) float64 { return m.FreqDMSD(l, target) }
+	pts := m.Sweep(law, 0.9, 50)
+	for _, p := range pts {
+		if p.Freq > m.FMin && p.Freq < m.FMax {
+			if math.Abs(p.DelayS-target)/target > 1e-9 {
+				t.Fatalf("λ=%g: DMSD delay %g, want %g", p.Lambda, p.DelayS, target)
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package report
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// fakeTables builds a minimal table set that satisfies every baseline
+// claim, so the extraction plumbing can be tested without simulations.
+func fakeTables() []sweep.Table {
+	mk := func(id string, cols []string, rows ...[]float64) sweep.Table {
+		t := sweep.Table{ID: id, Columns: cols}
+		for _, r := range rows {
+			t.AddRow(r...)
+		}
+		return t
+	}
+	return []sweep.Table{
+		mk("fig2b", []string{"rate", "nodvfs_delay_ns", "rmsd_delay_ns"},
+			[]float64{0.07, 41, 160},
+			[]float64{0.14, 47, 530},
+			[]float64{0.21, 55, 380},
+			[]float64{0.41, 181, 188},
+		),
+		mk("fig4a", []string{"rate", "nodvfs_ghz", "rmsd_ghz", "dmsd_ghz"},
+			[]float64{0.07, 1, 0.333, 0.45},
+			[]float64{0.21, 1, 0.50, 0.57},
+		),
+		mk("fig4b", []string{"rate", "nodvfs_delay_ns", "rmsd_delay_ns", "dmsd_delay_ns"},
+			[]float64{0.07, 41, 160, 107},
+			[]float64{0.14, 47, 530, 188},
+			[]float64{0.21, 55, 380, 180},
+			[]float64{0.28, 67, 310, 173},
+		),
+		mk("fig5", []string{"vdd_v", "freq_ghz"},
+			[]float64{0.56, 0.333},
+			[]float64{0.90, 1.0},
+		),
+		mk("fig6", []string{"rate", "nodvfs_mw", "rmsd_mw", "dmsd_mw"},
+			[]float64{0.14, 109, 31, 39},
+			[]float64{0.21, 139, 61, 69},
+		),
+		mk("summary", []string{"rate", "a", "b", "c", "ratio"},
+			[]float64{0.14, 70, 60, 10, 2.8},
+			[]float64{0.21, 60, 55, 8, 2.1},
+		),
+	}
+}
+
+func TestBaselineClaimsAllPassOnPaperLikeData(t *testing.T) {
+	verdicts := Check(BaselineClaims(), fakeTables())
+	for _, v := range verdicts {
+		if v.Err != nil {
+			t.Errorf("%s: %v", v.Claim.ID, v.Err)
+			continue
+		}
+		if !v.Pass {
+			t.Errorf("%s: measured %g outside [%g, %g]", v.Claim.ID, v.Measured, v.Claim.Lo, v.Claim.Hi)
+		}
+	}
+}
+
+func TestCheckReportsMissingTables(t *testing.T) {
+	verdicts := Check(BaselineClaims(), nil)
+	for _, v := range verdicts {
+		if v.Err == nil {
+			t.Errorf("%s: expected missing-table error", v.Claim.ID)
+		}
+	}
+}
+
+func TestCheckFlagsDeviation(t *testing.T) {
+	tables := fakeTables()
+	// Break the fig6 ratio: make RMSD as expensive as No-DVFS.
+	for i := range tables {
+		if tables[i].ID == "fig6" {
+			for r := range tables[i].Rows {
+				tables[i].Rows[r][2] = tables[i].Rows[r][1]
+			}
+		}
+	}
+	verdicts := Check(BaselineClaims(), tables)
+	found := false
+	for _, v := range verdicts {
+		if v.Claim.ID == "fig6-nodvfs-rmsd" {
+			found = true
+			if v.Pass {
+				t.Error("broken ratio passed")
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fig6 claim missing")
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	verdicts := Check(BaselineClaims(), fakeTables())
+	var sb strings.Builder
+	if err := WriteMarkdown(&sb, "Baseline", verdicts); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"## Baseline", "| claim |", "PASS", "claims within band"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestWriteMarkdownShowsErrors(t *testing.T) {
+	claims := []Claim{{
+		ID: "x", Statement: "s", Expected: "e", Lo: 0, Hi: 1,
+		Extract: func(map[string]sweep.Table) (float64, error) {
+			return 0, errors.New("boom")
+		},
+	}}
+	var sb strings.Builder
+	if err := WriteMarkdown(&sb, "T", Check(claims, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ERROR: boom") {
+		t.Error("markdown did not surface the error")
+	}
+}
+
+func TestPatternClaims(t *testing.T) {
+	tabs := []sweep.Table{
+		{ID: "fig7_tornado_delay", Columns: []string{"r", "n", "rm", "dm"},
+			Rows: [][]float64{{0.1, 60, 300, 150}, {0.2, 70, 400, 180}}},
+		{ID: "fig7_tornado_power", Columns: []string{"r", "n", "rm", "dm"},
+			Rows: [][]float64{{0.1, 150, 60, 66}, {0.2, 170, 80, 90}}},
+	}
+	verdicts := Check(PatternClaims("tornado", "2.5x"), tabs)
+	for _, v := range verdicts {
+		if v.Err != nil || !v.Pass {
+			t.Errorf("%s: measured %g err %v", v.Claim.ID, v.Measured, v.Err)
+		}
+	}
+}
+
+func TestAppClaims(t *testing.T) {
+	tabs := []sweep.Table{
+		{ID: "fig10_h264_delay", Columns: []string{"s", "n", "rm", "dm"},
+			Rows: [][]float64{{0.5, 32, 124, 84}, {1.0, 36, 200, 72}}},
+		{ID: "fig10_h264_power", Columns: []string{"s", "n", "rm", "dm"},
+			Rows: [][]float64{{0.5, 37, 7, 10}, {1.0, 42, 16, 19}}},
+	}
+	verdicts := Check(AppClaims("h264"), tabs)
+	for _, v := range verdicts {
+		if v.Err != nil || !v.Pass {
+			t.Errorf("%s: measured %g err %v", v.Claim.ID, v.Measured, v.Err)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := median([]float64{3, 1, 2}); got != 2 {
+		t.Errorf("median = %g", got)
+	}
+	if got := median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Errorf("even median = %g", got)
+	}
+	if got := median(nil); got != 0 {
+		t.Errorf("empty median = %g", got)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	if formatValue(math.NaN()) != "NaN" {
+		t.Error("NaN formatting")
+	}
+	if formatValue(123.4) != "123" {
+		t.Errorf("got %s", formatValue(123.4))
+	}
+	if formatValue(2.25) != "2.25" {
+		t.Errorf("got %s", formatValue(2.25))
+	}
+	if formatValue(0.5) != "0.500" {
+		t.Errorf("got %s", formatValue(0.5))
+	}
+}

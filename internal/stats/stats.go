@@ -1,0 +1,231 @@
+// Package stats provides the streaming statistics used by the simulator:
+// Welford accumulators, fixed-bin histograms for latency distributions,
+// and windowed accumulators for the DVFS control loop.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stream accumulates count, mean, variance, min and max of a sequence of
+// observations in a single pass (Welford's algorithm). The zero value is
+// ready to use.
+type Stream struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Stream) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Stream) N() int64 { return s.n }
+
+// Mean returns the sample mean, or 0 with no observations.
+func (s *Stream) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance (0 for fewer than two
+// observations).
+func (s *Stream) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Stream) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 with none).
+func (s *Stream) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 with none).
+func (s *Stream) Max() float64 { return s.max }
+
+// Reset discards all observations.
+func (s *Stream) Reset() { *s = Stream{} }
+
+// Merge combines another stream into s (parallel Welford merge).
+func (s *Stream) Merge(o Stream) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// String summarizes the stream.
+func (s *Stream) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Histogram is a fixed-width-bin histogram over [lo, hi) with overflow and
+// underflow bins, supporting approximate quantiles.
+type Histogram struct {
+	lo, hi float64
+	bins   []int64
+	under  int64
+	over   int64
+	n      int64
+	sum    float64
+}
+
+// NewHistogram creates a histogram with nbins bins spanning [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
+	if !(lo < hi) || nbins < 1 {
+		return nil, fmt.Errorf("stats: bad histogram spec [%g,%g)/%d", lo, hi, nbins)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int64, nbins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	h.sum += x
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+		if i == len(h.bins) { // guard rounding at the top edge
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() int64 { return h.n }
+
+// Mean returns the exact mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) using
+// bin midpoints; underflow maps to lo and overflow to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(h.n)))
+	if target < 1 {
+		target = 1
+	}
+	cum := h.under
+	if cum >= target {
+		return h.lo
+	}
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	for i, c := range h.bins {
+		cum += c
+		if cum >= target {
+			return h.lo + (float64(i)+0.5)*w
+		}
+	}
+	return h.hi
+}
+
+// Counts returns copies of the bin counts plus the underflow and overflow
+// counts.
+func (h *Histogram) Counts() (bins []int64, under, over int64) {
+	out := make([]int64, len(h.bins))
+	copy(out, h.bins)
+	return out, h.under, h.over
+}
+
+// Window accumulates a sum and count that the caller periodically drains;
+// it backs the DVFS controllers' per-control-period measurements.
+type Window struct {
+	sum   float64
+	count int64
+}
+
+// Add records one observation.
+func (w *Window) Add(x float64) { w.sum += x; w.count++ }
+
+// AddN records a pre-aggregated quantity (e.g. "this cycle injected k
+// flits").
+func (w *Window) AddN(sum float64, count int64) { w.sum += sum; w.count += count }
+
+// Count returns the number of observations in the current window.
+func (w *Window) Count() int64 { return w.count }
+
+// Sum returns the observation sum in the current window.
+func (w *Window) Sum() float64 { return w.sum }
+
+// Mean returns the mean of the current window, or fallback when empty.
+func (w *Window) Mean(fallback float64) float64 {
+	if w.count == 0 {
+		return fallback
+	}
+	return w.sum / float64(w.count)
+}
+
+// Drain returns the window's sum and count and resets it.
+func (w *Window) Drain() (sum float64, count int64) {
+	sum, count = w.sum, w.count
+	w.sum, w.count = 0, 0
+	return sum, count
+}
+
+// Percentile returns the p-th percentile (0-100) of xs by sorting a copy;
+// it is a convenience for offline analysis of small samples.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := make([]float64, len(xs))
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[len(cp)-1]
+	}
+	return cp[lo]*(1-frac) + cp[lo+1]*frac
+}

@@ -1,0 +1,279 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestStreamBasics(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d, want 8", s.N())
+	}
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %g, want 5", s.Mean())
+	}
+	// Population variance is 4; sample variance is 32/7.
+	if !almostEqual(s.Variance(), 32.0/7.0, 1e-12) {
+		t.Errorf("variance = %g, want %g", s.Variance(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmpty(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 || s.N() != 0 {
+		t.Error("empty stream should report zeros")
+	}
+}
+
+func TestStreamSingleObservation(t *testing.T) {
+	var s Stream
+	s.Add(3.5)
+	if s.Variance() != 0 {
+		t.Errorf("variance of single obs = %g", s.Variance())
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Error("min/max of single obs wrong")
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	var s Stream
+	s.Add(1)
+	s.Add(2)
+	s.Reset()
+	if s.N() != 0 || s.Mean() != 0 {
+		t.Error("reset did not clear stream")
+	}
+}
+
+func TestStreamMatchesNaiveQuick(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Stream
+		sum := 0.0
+		for _, r := range raw {
+			s.Add(float64(r))
+			sum += float64(r)
+		}
+		mean := sum / float64(len(raw))
+		if !almostEqual(s.Mean(), mean, 1e-9) {
+			return false
+		}
+		if len(raw) > 1 {
+			ss := 0.0
+			for _, r := range raw {
+				d := float64(r) - mean
+				ss += d * d
+			}
+			if !almostEqual(s.Variance(), ss/float64(len(raw)-1), 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStreamMergeEquivalentToSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var a, b, all Stream
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*3 + 7
+		all.Add(x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N=%d, want %d", a.N(), all.N())
+	}
+	if !almostEqual(a.Mean(), all.Mean(), 1e-9) {
+		t.Errorf("merged mean %g, want %g", a.Mean(), all.Mean())
+	}
+	if !almostEqual(a.Variance(), all.Variance(), 1e-9) {
+		t.Errorf("merged variance %g, want %g", a.Variance(), all.Variance())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Error("merged min/max wrong")
+	}
+}
+
+func TestStreamMergeEmptyCases(t *testing.T) {
+	var a, b Stream
+	a.Merge(b) // both empty
+	if a.N() != 0 {
+		t.Error("merging empties should stay empty")
+	}
+	b.Add(5)
+	a.Merge(b)
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Error("merging into empty failed")
+	}
+	var c Stream
+	a.Merge(c)
+	if a.N() != 1 {
+		t.Error("merging empty into nonempty changed N")
+	}
+}
+
+func TestStreamString(t *testing.T) {
+	var s Stream
+	s.Add(1)
+	if s.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("accepted lo==hi")
+	}
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("accepted zero bins")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("accepted lo>hi")
+	}
+}
+
+func TestHistogramCountsAndMean(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{-1, 0, 0.5, 5, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	bins, under, over := h.Counts()
+	if under != 1 {
+		t.Errorf("under = %d, want 1", under)
+	}
+	if over != 2 {
+		t.Errorf("over = %d, want 2 (10 and 42)", over)
+	}
+	if bins[0] != 2 {
+		t.Errorf("bin0 = %d, want 2", bins[0])
+	}
+	if bins[5] != 1 || bins[9] != 1 {
+		t.Errorf("bins = %v", bins)
+	}
+	want := (-1 + 0 + 0.5 + 5 + 9.99 + 10 + 42) / 7
+	if !almostEqual(h.Mean(), want, 1e-12) {
+		t.Errorf("mean = %g, want %g", h.Mean(), want)
+	}
+	if h.N() != 7 {
+		t.Errorf("N = %d, want 7", h.N())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, err := NewHistogram(0, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i))
+	}
+	// The median of 0..99 is ~49.5; bin midpoints give 49.5.
+	if q := h.Quantile(0.5); math.Abs(q-49.5) > 1.0 {
+		t.Errorf("median = %g, want ~49.5", q)
+	}
+	if q := h.Quantile(0.99); math.Abs(q-98.5) > 1.5 {
+		t.Errorf("p99 = %g, want ~98.5", q)
+	}
+	if q := h.Quantile(0); math.Abs(q-0.5) > 1 {
+		t.Errorf("q0 = %g, want first bin", q)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	if h.Quantile(0.5) != 0 {
+		t.Error("quantile of empty histogram should be 0")
+	}
+}
+
+func TestHistogramQuantileOverflowDominant(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 4)
+	for i := 0; i < 10; i++ {
+		h.Add(5) // all overflow
+	}
+	if q := h.Quantile(0.5); q != 1 {
+		t.Errorf("overflow median = %g, want hi=1", q)
+	}
+}
+
+func TestWindowDrain(t *testing.T) {
+	var w Window
+	w.Add(2)
+	w.Add(4)
+	w.AddN(10, 2)
+	if w.Count() != 4 || w.Sum() != 16 {
+		t.Fatalf("count/sum = %d/%g, want 4/16", w.Count(), w.Sum())
+	}
+	if got := w.Mean(-1); got != 4 {
+		t.Errorf("mean = %g, want 4", got)
+	}
+	sum, count := w.Drain()
+	if sum != 16 || count != 4 {
+		t.Errorf("drain = %g/%d", sum, count)
+	}
+	if w.Count() != 0 || w.Sum() != 0 {
+		t.Error("drain did not reset")
+	}
+	if got := w.Mean(-1); got != -1 {
+		t.Errorf("empty mean fallback = %g, want -1", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{9, 1, 8, 2, 7, 3, 6, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {100, 9}, {50, 5}, {25, 3}, {75, 7},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); !almostEqual(got, tc.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	// Input must not be mutated.
+	if xs[0] != 9 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := Percentile(xs, 50); got != 5 {
+		t.Errorf("interpolated median = %g, want 5", got)
+	}
+}

@@ -1,0 +1,411 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/noc"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/traffic"
+	"repro/internal/volt"
+)
+
+// Options tunes the figure generators.
+type Options struct {
+	// Quick shrinks simulation windows and grids for smoke tests and
+	// benchmarks.
+	Quick bool
+	// Points is the number of load-grid samples per curve (default 8,
+	// or 4 in Quick mode).
+	Points int
+	// Seed makes all runs reproducible (default 1).
+	Seed int64
+}
+
+func (o *Options) setDefaults() {
+	if o.Points == 0 {
+		if o.Quick {
+			o.Points = 4
+		} else {
+			o.Points = 8
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// baseline returns the paper's baseline scenario: uniform traffic on the
+// 5x5/8-VC/4-buffer/20-flit mesh.
+func (o *Options) baseline() core.Scenario {
+	return core.Scenario{
+		Noc:     noc.DefaultConfig(),
+		Pattern: "uniform",
+		Quick:   o.Quick,
+		Seed:    o.Seed,
+	}
+}
+
+// Bundle is the shared baseline comparison behind Figs. 2, 4 and 6: the
+// same scenario measured under all three policies over one rate grid.
+type Bundle struct {
+	Comparison core.Comparison
+	Options    Options
+}
+
+// BaselineBundle computes (once) the three-policy sweep on the baseline
+// scenario that Figs. 2, 4 and 6 all present views of.
+func BaselineBundle(o Options) (*Bundle, error) {
+	o.setDefaults()
+	s := o.baseline()
+	cal, err := core.Calibrate(s)
+	if err != nil {
+		return nil, err
+	}
+	grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
+	cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+	if err != nil {
+		return nil, err
+	}
+	return &Bundle{Comparison: cmp, Options: o}, nil
+}
+
+func calNote(cal core.Calibration) string {
+	return fmt.Sprintf("calibration: saturation=%.3f λmax=%.3f target=%.1f ns",
+		cal.SaturationRate, cal.LambdaMax, cal.TargetDelayNs)
+}
+
+// Fig2 renders Fig. 2: No-DVFS vs RMSD latency in cycles (a) and delay in
+// ns (b) against injection rate, exposing the non-monotonic RMSD delay.
+func Fig2(b *Bundle) []Table {
+	cal := b.Comparison.Calibration
+	lat := Table{
+		ID:      "fig2a",
+		Title:   "NoC latency (network clock cycles) vs injection rate, uniform 5x5",
+		Columns: []string{"rate", "nodvfs_latency_cycles", "rmsd_latency_cycles"},
+		Notes:   []string{calNote(cal), "paper: RMSD latency constant for rate in [λmin, λmax]"},
+	}
+	del := Table{
+		ID:      "fig2b",
+		Title:   "NoC delay (ns) vs injection rate, uniform 5x5",
+		Columns: []string{"rate", "nodvfs_delay_ns", "rmsd_delay_ns"},
+		Notes: []string{calNote(cal),
+			"paper: RMSD delay non-monotonic, peak near λmin ≈ " + fmt.Sprintf("%.3f", cal.LambdaMax/3)},
+	}
+	no := b.Comparison.Sweeps[core.NoDVFS].Points
+	rm := b.Comparison.Sweeps[core.RMSD].Points
+	for i := range no {
+		lat.AddRow(no[i].Load, no[i].Result.AvgLatencyCycles, rm[i].Result.AvgLatencyCycles)
+		del.AddRow(no[i].Load, no[i].Result.AvgDelayNs, rm[i].Result.AvgDelayNs)
+	}
+	return []Table{lat, del}
+}
+
+// Fig4 renders Fig. 4: network clock frequency (a) and delay (b) for all
+// three policies.
+func Fig4(b *Bundle) []Table {
+	cal := b.Comparison.Calibration
+	freq := Table{
+		ID:      "fig4a",
+		Title:   "Network clock frequency (GHz) vs injection rate",
+		Columns: []string{"rate", "nodvfs_ghz", "rmsd_ghz", "dmsd_ghz"},
+		Notes:   []string{calNote(cal), "paper: RMSD frequency ≤ DMSD frequency everywhere"},
+	}
+	del := Table{
+		ID:      "fig4b",
+		Title:   "Packet delay (ns) vs injection rate, three policies",
+		Columns: []string{"rate", "nodvfs_delay_ns", "rmsd_delay_ns", "dmsd_delay_ns"},
+		Notes:   []string{calNote(cal), "paper: DMSD flat at the target delay; RMSD up to ~1.9x above"},
+	}
+	no := b.Comparison.Sweeps[core.NoDVFS].Points
+	rm := b.Comparison.Sweeps[core.RMSD].Points
+	dm := b.Comparison.Sweeps[core.DMSD].Points
+	for i := range no {
+		freq.AddRow(no[i].Load, no[i].Result.AvgFreqHz/1e9, rm[i].Result.AvgFreqHz/1e9, dm[i].Result.AvgFreqHz/1e9)
+		del.AddRow(no[i].Load, no[i].Result.AvgDelayNs, rm[i].Result.AvgDelayNs, dm[i].Result.AvgDelayNs)
+	}
+	return []Table{freq, del}
+}
+
+// Fig5 renders the 28-nm FDSOI frequency-vs-voltage curve.
+func Fig5(o Options) []Table {
+	o.setDefaults()
+	m := volt.New()
+	t := Table{
+		ID:      "fig5",
+		Title:   "Network clock frequency vs Vdd, 28-nm FDSOI model",
+		Columns: []string{"vdd_v", "freq_ghz"},
+		Notes: []string{
+			fmt.Sprintf("alpha-power fit: Vt=%.2f V, alpha=%.2f", m.Vt(), m.Alpha()),
+			"anchors from the paper: 333 MHz @ 0.56 V, 1 GHz @ 0.90 V",
+		},
+	}
+	points := o.Points * 2
+	volts, freqs := m.Curve(volt.VMin, volt.VMax, points)
+	for i := range volts {
+		t.AddRow(volts[i], freqs[i]/1e9)
+	}
+	return []Table{t}
+}
+
+// Fig6 renders total network power vs injection rate for the three
+// policies, with the paper's annotated ratios recomputed at 0.2.
+func Fig6(b *Bundle) []Table {
+	cal := b.Comparison.Calibration
+	t := Table{
+		ID:      "fig6",
+		Title:   "Network power (mW) vs injection rate, three policies",
+		Columns: []string{"rate", "nodvfs_mw", "rmsd_mw", "dmsd_mw"},
+		Notes:   []string{calNote(cal), "paper at rate 0.2: No-DVFS/RMSD ≈ 2.2x, DMSD/RMSD ≈ 1.3x"},
+	}
+	no := b.Comparison.Sweeps[core.NoDVFS].Points
+	rm := b.Comparison.Sweeps[core.RMSD].Points
+	dm := b.Comparison.Sweeps[core.DMSD].Points
+	for i := range no {
+		t.AddRow(no[i].Load, no[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW, dm[i].Result.AvgPowerMW)
+	}
+	if i := nearestIdx(no, 0.2); i >= 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("measured at rate %.2f: No-DVFS/RMSD = %.2fx, DMSD/RMSD = %.2fx",
+			no[i].Load,
+			ratio(no[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW),
+			ratio(dm[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW)))
+	}
+	return []Table{t}
+}
+
+// Fig7 renders the four synthetic-pattern panels: delay and power vs
+// injection rate under tornado, bit-complement, transpose and neighbor.
+func Fig7(o Options) ([]Table, error) {
+	o.setDefaults()
+	var tables []Table
+	for _, pattern := range traffic.PaperPatterns() {
+		s := o.baseline()
+		s.Pattern = pattern
+		cal, err := core.Calibrate(s)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
+		}
+		grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
+		cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
+		}
+		tables = append(tables, comparisonTables("fig7", pattern, cmp)...)
+	}
+	return tables, nil
+}
+
+// Fig8 renders the sensitivity study: delay and power when varying the
+// number of VCs, buffers per VC, packet size, and mesh size, under uniform
+// traffic.
+func Fig8(o Options) ([]Table, error) {
+	o.setDefaults()
+	type variant struct {
+		label  string
+		mutate func(*noc.Config)
+	}
+	dims := []struct {
+		name     string
+		variants []variant
+	}{
+		{"vcs", []variant{
+			{"vc2", func(c *noc.Config) { c.VCs = 2 }},
+			{"vc4", func(c *noc.Config) { c.VCs = 4 }},
+			{"vc8", func(c *noc.Config) { c.VCs = 8 }},
+		}},
+		{"buffers", []variant{
+			{"buf4", func(c *noc.Config) { c.BufDepth = 4 }},
+			{"buf8", func(c *noc.Config) { c.BufDepth = 8 }},
+			{"buf16", func(c *noc.Config) { c.BufDepth = 16 }},
+		}},
+		{"packet", []variant{
+			{"pkt10", func(c *noc.Config) { c.PacketSize = 10 }},
+			{"pkt15", func(c *noc.Config) { c.PacketSize = 15 }},
+			{"pkt20", func(c *noc.Config) { c.PacketSize = 20 }},
+		}},
+		{"mesh", []variant{
+			{"mesh4x4", func(c *noc.Config) { c.Width, c.Height = 4, 4 }},
+			{"mesh5x5", func(c *noc.Config) { c.Width, c.Height = 5, 5 }},
+			{"mesh8x8", func(c *noc.Config) { c.Width, c.Height = 8, 8 }},
+		}},
+	}
+	var tables []Table
+	for _, dim := range dims {
+		for _, v := range dim.variants {
+			s := o.baseline()
+			v.mutate(&s.Noc)
+			cal, err := core.Calibrate(s)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s: %w", v.label, err)
+			}
+			grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
+			cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s: %w", v.label, err)
+			}
+			tables = append(tables, comparisonTables("fig8", v.label, cmp)...)
+		}
+	}
+	return tables, nil
+}
+
+// Fig10 renders the multimedia panels: delay and power vs application
+// speed for the H.264 encoder (4x4) and the VCE (5x5).
+func Fig10(o Options) ([]Table, error) {
+	o.setDefaults()
+	var tables []Table
+	for _, app := range apps.Apps() {
+		app := app
+		s := core.Scenario{
+			Noc:   noc.DefaultConfig(),
+			App:   &app,
+			Quick: o.Quick,
+			Seed:  o.Seed,
+		}
+		s.Noc.Width, s.Noc.Height = app.Width, app.Height
+		cal, err := core.Calibrate(s)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
+		}
+		grid := core.LoadGrid(1.0, o.Points) // speeds up to 1.0 ≡ 75 f/s
+		cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+		if err != nil {
+			return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
+		}
+		ts := comparisonTables("fig10", app.Name, cmp)
+		for i := range ts {
+			ts[i].Columns[0] = "speed"
+			ts[i].Notes = append(ts[i].Notes, "speed 1.0 ≡ 75 frames/s in the paper's normalization")
+		}
+		tables = append(tables, ts...)
+	}
+	return tables, nil
+}
+
+// comparisonTables converts one Comparison into a delay table and a power
+// table, with the paper-style ratio annotations computed mid-grid.
+func comparisonTables(figID, label string, cmp core.Comparison) []Table {
+	del := Table{
+		ID:      figID + "_" + label + "_delay",
+		Title:   fmt.Sprintf("Packet delay (ns) vs load, %s", label),
+		Columns: []string{"rate", "nodvfs_delay_ns", "rmsd_delay_ns", "dmsd_delay_ns"},
+		Notes:   []string{calNote(cmp.Calibration)},
+	}
+	pow := Table{
+		ID:      figID + "_" + label + "_power",
+		Title:   fmt.Sprintf("Network power (mW) vs load, %s", label),
+		Columns: []string{"rate", "nodvfs_mw", "rmsd_mw", "dmsd_mw"},
+		Notes:   []string{calNote(cmp.Calibration)},
+	}
+	no := cmp.Sweeps[core.NoDVFS].Points
+	rm := cmp.Sweeps[core.RMSD].Points
+	dm := cmp.Sweeps[core.DMSD].Points
+	for i := range no {
+		del.AddRow(no[i].Load, no[i].Result.AvgDelayNs, rm[i].Result.AvgDelayNs, dm[i].Result.AvgDelayNs)
+		pow.AddRow(no[i].Load, no[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW, dm[i].Result.AvgPowerMW)
+	}
+	if mid := len(no) / 2; mid < len(no) {
+		del.Notes = append(del.Notes, fmt.Sprintf("delay ratio RMSD/DMSD at load %.3g: %.2fx",
+			no[mid].Load, ratio(rm[mid].Result.AvgDelayNs, dm[mid].Result.AvgDelayNs)))
+		pow.Notes = append(pow.Notes, fmt.Sprintf("power ratios at load %.3g: No-DVFS/RMSD %.2fx, DMSD/RMSD %.2fx",
+			no[mid].Load,
+			ratio(no[mid].Result.AvgPowerMW, rm[mid].Result.AvgPowerMW),
+			ratio(dm[mid].Result.AvgPowerMW, rm[mid].Result.AvgPowerMW)))
+	}
+	return []Table{del, pow}
+}
+
+// PIStep renders the DMSD transient: the frequency and window-delay trace
+// of the PI loop from cold start (FMax) at a fixed load, supporting the
+// paper's stability and control-period claims (Sec. IV).
+func PIStep(o Options) ([]Table, error) {
+	o.setDefaults()
+	s := o.baseline()
+	cal, err := core.Calibrate(s)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := dvfs.NewDMSD(cal.TargetDelayNs, dvfs.DefaultRange())
+	if err != nil {
+		return nil, err
+	}
+	inj, err := traffic.NewInjector(s.Noc, traffic.NewUniform(s.Noc), 0.5*cal.SaturationRate, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pm := power.Default28nm()
+	params := sim.Params{
+		Noc: s.Noc, Injector: inj, Policy: pol, VF: volt.New(), Power: &pm,
+		Warmup: 1000, Measure: 400000, TraceFreq: true,
+	}
+	if o.Quick {
+		params.Measure = 100000
+	}
+	res, err := sim.Run(params)
+	if err != nil {
+		return nil, err
+	}
+	t := Table{
+		ID:      "pi_step",
+		Title:   "DMSD PI transient from cold start (load = 0.5 x saturation)",
+		Columns: []string{"time_us", "freq_ghz", "window_delay_ns"},
+		Notes: []string{calNote(cal),
+			fmt.Sprintf("gains KI=%.4g KP=%.4g, control period %d node cycles",
+				dvfs.DefaultKI, dvfs.DefaultKP, dvfs.ControlPeriodNodeCycles)},
+	}
+	for _, sm := range res.Trace {
+		t.AddRow(sm.TimeNs/1e3, sm.FreqHz/1e9, sm.DelayNs)
+	}
+	return []Table{t}, nil
+}
+
+// Summary recomputes the paper's headline numbers (Sec. I/VII): the power
+// saving of each policy vs No-DVFS, the extra power of DMSD vs RMSD, and
+// the delay ratio RMSD/DMSD, at a set of reference loads on the baseline
+// scenario.
+func Summary(b *Bundle) []Table {
+	t := Table{
+		ID:    "summary",
+		Title: "Headline power-delay trade-off (baseline uniform 5x5)",
+		Columns: []string{"rate", "rmsd_power_saving_pct", "dmsd_power_saving_pct",
+			"dmsd_extra_power_pct", "rmsd_delay_ratio"},
+		Notes: []string{
+			calNote(b.Comparison.Calibration),
+			"paper: RMSD saves 20-50% more power than DMSD; DMSD cuts delay up to ~3x",
+		},
+	}
+	no := b.Comparison.Sweeps[core.NoDVFS].Points
+	rm := b.Comparison.Sweeps[core.RMSD].Points
+	dm := b.Comparison.Sweeps[core.DMSD].Points
+	for i := range no {
+		pn, pr, pd := no[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW, dm[i].Result.AvgPowerMW
+		t.AddRow(no[i].Load,
+			100*(1-pr/pn),
+			100*(1-pd/pn),
+			100*(pd/pr-1),
+			ratio(rm[i].Result.AvgDelayNs, dm[i].Result.AvgDelayNs))
+	}
+	return []Table{t}
+}
+
+// nearestIdx returns the index of the point whose load is closest to x.
+func nearestIdx(pts []core.Point, x float64) int {
+	best, bd := -1, math.Inf(1)
+	for i, p := range pts {
+		if d := math.Abs(p.Load - x); d < bd {
+			best, bd = i, d
+		}
+	}
+	return best
+}
+
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return math.NaN()
+	}
+	return a / b
+}

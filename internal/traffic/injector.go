@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/noc"
+)
+
+// Injector drives packet generation for every node of a network. It lives
+// in the *node* clock domain: the engine tells it how many whole node
+// cycles elapsed, and per node cycle each source performs one Bernoulli
+// trial with probability rate/packetSize of generating a packet. Under
+// DVFS the network clock slows down while the injector keeps its pace,
+// which is exactly how the network injection rate λnoc = λnode·Fnode/Fnoc
+// of Eq. (1) arises.
+type Injector struct {
+	cfg     noc.Config
+	pattern Pattern
+	// rates[s] is node s's injection rate in flits per node clock cycle.
+	rates []float64
+	// probs[s] is the per-node-cycle packet generation probability.
+	probs []float64
+	rngs  []*rand.Rand
+
+	// generatedFlits counts flits offered since the last WindowReset; the
+	// RMSD controller's rate monitor reads it.
+	generatedFlits int64
+	// o1turn notes whether destinations need a random dimension order.
+	o1turn bool
+}
+
+// NewInjector builds an injector offering rate flits per node per node
+// cycle at every node, with destinations from pattern. Each node gets an
+// independent deterministic RNG derived from seed.
+func NewInjector(cfg noc.Config, pattern Pattern, rate float64, seed int64) (*Injector, error) {
+	if rate < 0 {
+		return nil, fmt.Errorf("traffic: negative injection rate %g", rate)
+	}
+	rates := make([]float64, cfg.Nodes())
+	for i := range rates {
+		rates[i] = rate
+	}
+	return NewInjectorRates(cfg, pattern, rates, seed)
+}
+
+// NewInjectorRates builds an injector with a per-node rate vector (flits
+// per node per node cycle), used by the multimedia workloads where nodes
+// inject at very different rates.
+func NewInjectorRates(cfg noc.Config, pattern Pattern, rates []float64, seed int64) (*Injector, error) {
+	if len(rates) != cfg.Nodes() {
+		return nil, fmt.Errorf("traffic: %d rates for %d nodes", len(rates), cfg.Nodes())
+	}
+	inj := &Injector{
+		cfg:     cfg,
+		pattern: pattern,
+		rates:   append([]float64(nil), rates...),
+		probs:   make([]float64, len(rates)),
+		rngs:    make([]*rand.Rand, len(rates)),
+		o1turn:  cfg.Routing == noc.RoutingO1TURN,
+	}
+	for i, r := range rates {
+		if r < 0 {
+			return nil, fmt.Errorf("traffic: negative rate %g at node %d", r, i)
+		}
+		p := r / float64(cfg.PacketSize)
+		if p > 1 {
+			return nil, fmt.Errorf("traffic: node %d rate %g exceeds one packet per cycle", i, r)
+		}
+		inj.probs[i] = p
+		inj.rngs[i] = rand.New(rand.NewSource(seed + int64(i)*7919))
+	}
+	return inj, nil
+}
+
+// Pattern returns the injector's destination pattern.
+func (inj *Injector) Pattern() Pattern { return inj.pattern }
+
+// MeanRate returns the average offered rate across nodes (flits per node
+// per node cycle).
+func (inj *Injector) MeanRate() float64 {
+	sum := 0.0
+	for _, r := range inj.rates {
+		sum += r
+	}
+	return sum / float64(len(inj.rates))
+}
+
+// NodeCycle performs one node-clock cycle of packet generation for every
+// node, queueing new packets on net. nowNs is the current simulated time
+// used to timestamp packets.
+func (inj *Injector) NodeCycle(net *noc.Network, nowNs float64) {
+	for s := range inj.probs {
+		p := inj.probs[s]
+		if p == 0 {
+			continue
+		}
+		rng := inj.rngs[s]
+		if rng.Float64() >= p {
+			continue
+		}
+		src := noc.NodeID(s)
+		dst := inj.pattern.Dest(src, rng)
+		var dim uint8
+		if inj.o1turn {
+			dim = uint8(rng.Intn(2))
+		}
+		net.NewPacket(src, dst, nowNs, dim)
+		inj.generatedFlits += int64(inj.cfg.PacketSize)
+	}
+}
+
+// WindowFlits returns the number of flits offered since the last
+// WindowReset.
+func (inj *Injector) WindowFlits() int64 { return inj.generatedFlits }
+
+// WindowReset clears the offered-flit window counter.
+func (inj *Injector) WindowReset() { inj.generatedFlits = 0 }
+
+// NormalizedMatrix returns the traffic matrix weighted by the per-node
+// rates, scaled so rows of active nodes keep their destination mix; it is
+// used for theoretical capacity estimates. Entry [s][d] carries
+// rate_s · frac_{s→d} / meanRate, so a uniform-rate injector reduces to
+// the plain pattern matrix.
+func (inj *Injector) NormalizedMatrix() [][]float64 {
+	base := Matrix(inj.pattern, inj.cfg)
+	mean := inj.MeanRate()
+	if mean == 0 {
+		return base
+	}
+	n := inj.cfg.Nodes()
+	m := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		m[s] = make([]float64, n)
+		for d := 0; d < n; d++ {
+			m[s][d] = base[s][d] * inj.rates[s] / mean
+		}
+	}
+	return m
+}

@@ -1,0 +1,6 @@
+package traffic
+
+import "math/rand"
+
+// newTestRand returns a deterministic RNG for tests.
+func newTestRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,39 @@
+package volt_test
+
+import (
+	"fmt"
+
+	"repro/internal/volt"
+)
+
+// Example reproduces the paper's two published operating points and the
+// mid-range voltage the DVFS controller would command.
+func Example() {
+	m := volt.New()
+	fmt.Printf("F(0.56 V) = %.0f MHz\n", m.FrequencyAt(0.56)/1e6)
+	fmt.Printf("F(0.90 V) = %.0f MHz\n", m.FrequencyAt(0.90)/1e6)
+	fmt.Printf("V(666 MHz) = %.3f V\n", m.VoltageFor(666e6))
+	// Output:
+	// F(0.56 V) = 333 MHz
+	// F(0.90 V) = 1000 MHz
+	// V(666 MHz) = 0.731 V
+}
+
+// ExampleModel_Quantize builds a 4-level DVFS operating-point table.
+func ExampleModel_Quantize() {
+	m := volt.New()
+	levels, err := m.Quantize(volt.FMin, volt.FMax, 4)
+	if err != nil {
+		panic(err)
+	}
+	for i, f := range levels.Freqs {
+		fmt.Printf("level %d: %.1f MHz @ %.3f V\n", i, f/1e6, levels.Volts[i])
+	}
+	fmt.Printf("snap(400 MHz) -> %.1f MHz\n", levels.Snap(400e6)/1e6)
+	// Output:
+	// level 0: 333.0 MHz @ 0.560 V
+	// level 1: 555.3 MHz @ 0.675 V
+	// level 2: 777.7 MHz @ 0.787 V
+	// level 3: 1000.0 MHz @ 0.900 V
+	// snap(400 MHz) -> 555.3 MHz
+}

@@ -1,0 +1,170 @@
+// Package volt models the voltage-frequency relationship of the paper's
+// 28-nm FDSOI router (Fig. 5): the maximum clock frequency the synthesized
+// router sustains at a given supply voltage, and its inverse, the minimum
+// voltage required for a target frequency.
+//
+// The paper extracted the curve from transistor-level (Eldo) simulation of
+// the post-synthesis netlist. Lacking the proprietary library, this package
+// substitutes the alpha-power-law MOSFET model
+//
+//	F(V) = K * (V - Vt)^alpha / V
+//
+// fitted to the two operating points the paper publishes: 333 MHz at
+// 0.56 V and 1 GHz at 0.90 V. The resulting curve has the same mildly
+// super-linear shape as Fig. 5 and exactly reproduces the published
+// endpoints; every DVFS result in the paper depends on the curve only
+// through those endpoints and monotonicity.
+package volt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Paper operating range (Sec. IV-A).
+const (
+	// FMin is the minimum network clock frequency, 333 MHz.
+	FMin = 333e6
+	// FMax is the maximum network clock frequency, 1 GHz.
+	FMax = 1e9
+	// VMin is the supply voltage at FMin, 0.56 V.
+	VMin = 0.56
+	// VMax is the supply voltage at FMax, 0.90 V.
+	VMax = 0.90
+)
+
+// Model maps supply voltage to maximum clock frequency and back. Create it
+// with New (paper fit) or NewAlphaPower (custom fit).
+type Model struct {
+	k     float64 // curve scale, Hz*V/(V^alpha)
+	vt    float64 // threshold voltage, V
+	alpha float64 // velocity-saturation exponent
+}
+
+// New returns the model fitted to the paper's two published operating
+// points (333 MHz @ 0.56 V, 1 GHz @ 0.90 V) with a 28-nm-plausible
+// threshold voltage of 0.32 V.
+func New() Model {
+	m, err := NewAlphaPower(0.32, VMin, FMin, VMax, FMax)
+	if err != nil {
+		// The paper anchors are compile-time constants; failure here is a
+		// programming error.
+		panic(err)
+	}
+	return m
+}
+
+// NewAlphaPower fits F(V) = K (V-Vt)^alpha / V through the two anchor
+// points (v1, f1) and (v2, f2). It returns an error when the anchors are
+// degenerate or below threshold.
+func NewAlphaPower(vt, v1, f1, v2, f2 float64) (Model, error) {
+	if v1 <= vt || v2 <= vt {
+		return Model{}, fmt.Errorf("volt: anchor voltages %.3g/%.3g not above threshold %.3g", v1, v2, vt)
+	}
+	if v1 >= v2 || f1 >= f2 || f1 <= 0 {
+		return Model{}, errors.New("volt: anchors must satisfy v1<v2, 0<f1<f2")
+	}
+	// Solve (f2 v2)/(f1 v1) = ((v2-vt)/(v1-vt))^alpha for alpha.
+	ratio := (f2 * v2) / (f1 * v1)
+	base := (v2 - vt) / (v1 - vt)
+	alpha := math.Log(ratio) / math.Log(base)
+	k := f2 * v2 / math.Pow(v2-vt, alpha)
+	return Model{k: k, vt: vt, alpha: alpha}, nil
+}
+
+// Vt returns the fitted threshold voltage.
+func (m Model) Vt() float64 { return m.vt }
+
+// Alpha returns the fitted alpha-power exponent.
+func (m Model) Alpha() float64 { return m.alpha }
+
+// FrequencyAt returns the maximum clock frequency (Hz) sustainable at
+// supply voltage v. Voltages at or below threshold yield 0.
+func (m Model) FrequencyAt(v float64) float64 {
+	if v <= m.vt {
+		return 0
+	}
+	return m.k * math.Pow(v-m.vt, m.alpha) / v
+}
+
+// VoltageFor returns the minimum supply voltage at which the router
+// sustains frequency f (Hz). It inverts FrequencyAt numerically by
+// bisection; the curve is strictly increasing above threshold.
+func (m Model) VoltageFor(f float64) float64 {
+	if f <= 0 {
+		return m.vt
+	}
+	lo, hi := m.vt+1e-6, 2.0
+	for m.FrequencyAt(hi) < f {
+		hi *= 2
+		if hi > 64 {
+			return math.NaN()
+		}
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if m.FrequencyAt(mid) < f {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Curve samples the model at n evenly spaced voltages across [vLo, vHi]
+// inclusive, returning parallel voltage and frequency slices. It is the
+// generator behind the Fig. 5 reproduction.
+func (m Model) Curve(vLo, vHi float64, n int) (volts, freqs []float64) {
+	if n < 2 {
+		n = 2
+	}
+	volts = make([]float64, n)
+	freqs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		v := vLo + (vHi-vLo)*float64(i)/float64(n-1)
+		volts[i] = v
+		freqs[i] = m.FrequencyAt(v)
+	}
+	return volts, freqs
+}
+
+// Levels describes a discrete DVFS operating-point table: frequencies and
+// the matching minimum voltages, sorted ascending. The paper's footnote 2
+// notes its results remain valid with discrete levels; Levels supports
+// that ablation.
+type Levels struct {
+	Freqs []float64
+	Volts []float64
+}
+
+// Quantize builds a table of n evenly spaced frequency levels spanning
+// [fLo, fHi], with voltages from the model.
+func (m Model) Quantize(fLo, fHi float64, n int) (Levels, error) {
+	if n < 2 {
+		return Levels{}, errors.New("volt: need at least 2 levels")
+	}
+	if fLo <= 0 || fLo >= fHi {
+		return Levels{}, fmt.Errorf("volt: bad level range [%g, %g]", fLo, fHi)
+	}
+	l := Levels{Freqs: make([]float64, n), Volts: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		f := fLo + (fHi-fLo)*float64(i)/float64(n-1)
+		l.Freqs[i] = f
+		l.Volts[i] = m.VoltageFor(f)
+	}
+	return l, nil
+}
+
+// Snap returns the lowest level frequency >= f, or the top level when f
+// exceeds the table. Snapping up preserves the controllers' guarantees
+// (the network never runs slower than requested).
+func (l Levels) Snap(f float64) float64 {
+	for _, lf := range l.Freqs {
+		if lf >= f-1e-6 {
+			return lf
+		}
+	}
+	return l.Freqs[len(l.Freqs)-1]
+}

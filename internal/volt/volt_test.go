@@ -1,0 +1,191 @@
+package volt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperAnchorsReproduced(t *testing.T) {
+	m := New()
+	if got := m.FrequencyAt(VMin); math.Abs(got-FMin)/FMin > 1e-9 {
+		t.Errorf("F(0.56V) = %g, want 333 MHz", got)
+	}
+	if got := m.FrequencyAt(VMax); math.Abs(got-FMax)/FMax > 1e-9 {
+		t.Errorf("F(0.90V) = %g, want 1 GHz", got)
+	}
+}
+
+func TestVoltageForAnchors(t *testing.T) {
+	m := New()
+	if got := m.VoltageFor(FMin); math.Abs(got-VMin) > 1e-6 {
+		t.Errorf("VoltageFor(333MHz) = %g, want 0.56", got)
+	}
+	if got := m.VoltageFor(FMax); math.Abs(got-VMax) > 1e-6 {
+		t.Errorf("VoltageFor(1GHz) = %g, want 0.90", got)
+	}
+}
+
+func TestFrequencyMonotonic(t *testing.T) {
+	m := New()
+	prev := -1.0
+	for v := 0.4; v <= 1.2; v += 0.01 {
+		f := m.FrequencyAt(v)
+		if f < prev {
+			t.Fatalf("F not monotone at %g V", v)
+		}
+		prev = f
+	}
+}
+
+func TestFrequencyBelowThresholdZero(t *testing.T) {
+	m := New()
+	if got := m.FrequencyAt(0.1); got != 0 {
+		t.Errorf("F(0.1V) = %g, want 0", got)
+	}
+	if got := m.FrequencyAt(m.Vt()); got != 0 {
+		t.Errorf("F(Vt) = %g, want 0", got)
+	}
+}
+
+func TestInverseRoundTripQuick(t *testing.T) {
+	m := New()
+	f := func(raw uint16) bool {
+		// Frequencies across the DVFS range and slightly beyond.
+		freq := FMin + (FMax*1.2-FMin)*float64(raw)/65535
+		v := m.VoltageFor(freq)
+		back := m.FrequencyAt(v)
+		return math.Abs(back-freq)/freq < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVoltageForZeroOrNegative(t *testing.T) {
+	m := New()
+	if got := m.VoltageFor(0); got != m.Vt() {
+		t.Errorf("VoltageFor(0) = %g, want Vt", got)
+	}
+	if got := m.VoltageFor(-5); got != m.Vt() {
+		t.Errorf("VoltageFor(-5) = %g, want Vt", got)
+	}
+}
+
+func TestAlphaInPlausibleRange(t *testing.T) {
+	// Velocity-saturated deep-submicron devices have alpha in (1, 2).
+	m := New()
+	if a := m.Alpha(); a <= 1 || a >= 2 {
+		t.Errorf("alpha = %g, want in (1, 2)", a)
+	}
+}
+
+func TestNewAlphaPowerErrors(t *testing.T) {
+	tests := []struct {
+		name               string
+		vt, v1, f1, v2, f2 float64
+	}{
+		{"anchor below threshold", 0.6, 0.56, FMin, 0.9, FMax},
+		{"reversed voltages", 0.3, 0.9, FMin, 0.56, FMax},
+		{"reversed freqs", 0.3, 0.56, FMax, 0.9, FMin},
+		{"zero f1", 0.3, 0.56, 0, 0.9, FMax},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewAlphaPower(tc.vt, tc.v1, tc.f1, tc.v2, tc.f2); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestCurveEndpointsAndLength(t *testing.T) {
+	m := New()
+	volts, freqs := m.Curve(VMin, VMax, 8)
+	if len(volts) != 8 || len(freqs) != 8 {
+		t.Fatalf("curve lengths %d/%d, want 8", len(volts), len(freqs))
+	}
+	if volts[0] != VMin || volts[7] != VMax {
+		t.Errorf("curve voltage endpoints %g..%g", volts[0], volts[7])
+	}
+	if math.Abs(freqs[0]-FMin)/FMin > 1e-9 || math.Abs(freqs[7]-FMax)/FMax > 1e-9 {
+		t.Errorf("curve frequency endpoints %g..%g", freqs[0], freqs[7])
+	}
+	for i := 1; i < len(freqs); i++ {
+		if freqs[i] <= freqs[i-1] {
+			t.Fatalf("curve not strictly increasing at %d", i)
+		}
+	}
+}
+
+func TestCurveMinimumPoints(t *testing.T) {
+	m := New()
+	volts, _ := m.Curve(VMin, VMax, 1)
+	if len(volts) != 2 {
+		t.Errorf("Curve with n<2 returned %d points, want 2", len(volts))
+	}
+}
+
+func TestQuantize(t *testing.T) {
+	m := New()
+	l, err := m.Quantize(FMin, FMax, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Freqs) != 5 {
+		t.Fatalf("levels = %d, want 5", len(l.Freqs))
+	}
+	if l.Freqs[0] != FMin || l.Freqs[4] != FMax {
+		t.Errorf("level endpoints %g..%g", l.Freqs[0], l.Freqs[4])
+	}
+	for i, f := range l.Freqs {
+		if math.Abs(m.FrequencyAt(l.Volts[i])-f)/f > 1e-6 {
+			t.Errorf("level %d voltage inconsistent", i)
+		}
+	}
+}
+
+func TestQuantizeErrors(t *testing.T) {
+	m := New()
+	if _, err := m.Quantize(FMin, FMax, 1); err == nil {
+		t.Error("accepted 1 level")
+	}
+	if _, err := m.Quantize(FMax, FMin, 4); err == nil {
+		t.Error("accepted reversed range")
+	}
+	if _, err := m.Quantize(0, FMax, 4); err == nil {
+		t.Error("accepted zero lower bound")
+	}
+}
+
+func TestSnapRoundsUp(t *testing.T) {
+	m := New()
+	l, err := m.Quantize(FMin, FMax, 4) // 333, 555.3, 777.7, 1000 MHz
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Snap(400e6); got != l.Freqs[1] {
+		t.Errorf("Snap(400MHz) = %g, want %g", got, l.Freqs[1])
+	}
+	if got := l.Snap(FMin); got != l.Freqs[0] {
+		t.Errorf("Snap(FMin) = %g, want %g", got, l.Freqs[0])
+	}
+	if got := l.Snap(2e9); got != l.Freqs[3] {
+		t.Errorf("Snap above range = %g, want top level", got)
+	}
+}
+
+func TestSnapNeverBelowRequest(t *testing.T) {
+	m := New()
+	l, err := m.Quantize(FMin, FMax, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint16) bool {
+		req := FMin + (FMax-FMin)*float64(raw)/65535
+		return l.Snap(req) >= req-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
