@@ -30,6 +30,7 @@ func main() {
 		pattern = flag.String("pattern", "uniform", "traffic pattern")
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "shorter simulations")
+		workers = flag.Int("workers", 0, "concurrent saturation probes (0 = GOMAXPROCS, 1 = serial); the measured rate is identical either way")
 	)
 	flag.Parse()
 
@@ -54,7 +55,7 @@ func main() {
 	fmt.Printf("pattern:               %s\n", pat.Name())
 	fmt.Printf("theoretical capacity:  %.4f flits/node/cycle (1 / max channel load)\n", theo)
 
-	s := core.Scenario{Noc: cfg, Pattern: *pattern, Seed: *seed, Quick: *quick}
+	s := core.Scenario{Noc: cfg, Pattern: *pattern, Seed: *seed, Quick: *quick, Workers: *workers}
 	cal, err := core.Calibrate(s)
 	if err != nil {
 		log.Fatal(err)

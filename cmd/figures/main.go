@@ -14,24 +14,52 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
+	"repro/internal/exp"
 	"repro/internal/sweep"
 )
+
+// reportProgress polls the exp engine's cumulative point counters and
+// logs completion and throughput until the process exits. The scheduled
+// total grows as nested sweeps enqueue work, so the ETA firms up as the
+// run proceeds.
+func reportProgress(interval time.Duration) {
+	start := time.Now()
+	for range time.Tick(interval) {
+		scheduled, done := exp.Stats()
+		if done == 0 {
+			continue
+		}
+		elapsed := time.Since(start)
+		rate := float64(done) / elapsed.Seconds()
+		msg := fmt.Sprintf("progress: %d/%d points, %.1f points/s", done, scheduled, rate)
+		if left := scheduled - done; left > 0 && rate > 0 {
+			msg += fmt.Sprintf(", eta >= %s", (time.Duration(float64(left)/rate*float64(time.Second))).Round(time.Second))
+		}
+		log.Print(msg)
+	}
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 
 	var (
-		figs   = flag.String("fig", "all", "comma-separated figure list: 2,4,5,6,7,8,10,pi,summary,ablation or 'all'")
-		quick  = flag.Bool("quick", false, "shorter windows and smaller grids")
-		points = flag.Int("points", 0, "samples per curve (0 = default)")
-		seed   = flag.Int64("seed", 1, "random seed")
-		csvDir = flag.String("csv", "", "also write one CSV per table into this directory")
+		figs     = flag.String("fig", "all", "comma-separated figure list: 2,4,5,6,7,8,10,pi,summary,ablation or 'all'")
+		quick    = flag.Bool("quick", false, "shorter windows and smaller grids")
+		points   = flag.Int("points", 0, "samples per curve (0 = default)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csvDir   = flag.String("csv", "", "also write one CSV per table into this directory")
+		workers  = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS, 1 = serial); results are identical either way")
+		progress = flag.Bool("progress", false, "log point completion and ETA every few seconds")
 	)
 	flag.Parse()
 
-	o := sweep.Options{Quick: *quick, Points: *points, Seed: *seed}
+	o := sweep.Options{Quick: *quick, Points: *points, Seed: *seed, Workers: *workers}
+	if *progress {
+		go reportProgress(3 * time.Second)
+	}
 	want := map[string]bool{}
 	for _, f := range strings.Split(*figs, ",") {
 		want[strings.TrimSpace(f)] = true

@@ -15,8 +15,19 @@
 //	internal/power    event-energy power model and integrator
 //	internal/stats    streaming statistics
 //	internal/sim      the two-clock-domain simulation engine
+//	internal/exp      parallel deterministic experiment runner (worker pool)
 //	internal/core     experiments: calibration, saturation search, sweeps
 //	internal/sweep    figure/table generators for the whole evaluation
+//
+// Every experiment grid — policy comparisons, saturation searches, figure
+// panels, ablations — is fanned out across GOMAXPROCS workers by
+// internal/exp. Each grid point is a self-contained closure owning its
+// RNG (every point builds its own injector, which derives one stream per
+// node from the scenario seed), results are collected in grid order, a
+// panicking point is captured with its stack, and the first failure
+// cancels the remaining grid via context. Output is byte-identical for
+// any worker count — Workers=1 is the serial reference the
+// golden-determinism tests compare against.
 //
 // Entry points: cmd/nocsim (single run), cmd/figures (regenerate the
 // evaluation), cmd/capacity (saturation analysis), and examples/.

@@ -53,6 +53,9 @@ func TestLoadGrid(t *testing.T) {
 }
 
 func TestFindSaturationBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: saturation search runs tens of simulations")
+	}
 	// The paper reports saturation ≈0.42 for the baseline configuration
 	// (Sec. III). Accept a band around it: exact value depends on
 	// allocator details.
@@ -66,6 +69,9 @@ func TestFindSaturationBaseline(t *testing.T) {
 }
 
 func TestFindSaturationFewerVCsIsLower(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: saturation search runs tens of simulations")
+	}
 	s := quickScenario()
 	sat8, err := FindSaturation(s)
 	if err != nil {
@@ -82,6 +88,9 @@ func TestFindSaturationFewerVCsIsLower(t *testing.T) {
 }
 
 func TestCalibrate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: calibration runs a saturation search")
+	}
 	cal, err := Calibrate(quickScenario())
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goldenCal is a fixed calibration so the golden tests exercise only the
+// sweep path, not the saturation search.
+func goldenCal() Calibration {
+	return Calibration{SaturationRate: 0.42, LambdaMax: 0.378, TargetDelayNs: 150}
+}
+
+// TestGoldenParallelMatchesSerial is the determinism contract of the exp
+// rewiring: the same root seed must produce bit-identical sweep results
+// whether the grid runs serially (Workers=1, the pre-exp reference
+// semantics) or fanned out across many workers.
+func TestGoldenParallelMatchesSerial(t *testing.T) {
+	grid := LoadGrid(0.3, 3)
+	workerSet := []int{2, 8}
+	if testing.Short() {
+		// Scaled-down grid: the determinism contract still gets exercised
+		// end to end, just over fewer points and one worker count.
+		grid = LoadGrid(0.3, 2)
+		workerSet = []int{4}
+	}
+	run := func(workers int) map[PolicyKind]Sweep {
+		s := quickScenario()
+		s.Workers = workers
+		cmp, err := ComparePolicies(s, grid, AllPolicies(), goldenCal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cmp.Sweeps
+	}
+	serial := run(1)
+	for _, workers := range workerSet {
+		par := run(workers)
+		for _, kind := range AllPolicies() {
+			if !reflect.DeepEqual(serial[kind], par[kind]) {
+				t.Errorf("workers=%d: %s sweep differs from serial:\nserial:   %+v\nparallel: %+v",
+					workers, kind, serial[kind], par[kind])
+			}
+		}
+	}
+}
+
+// TestGoldenFindSaturationParallelMatchesSerial pins the quarter-section
+// search: the probe layout is fixed, so the measured saturation rate must
+// not depend on the worker count.
+func TestGoldenFindSaturationParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	s := quickScenario()
+	s.Workers = 1
+	serial, err := FindSaturation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 8
+	parallel, err := FindSaturation(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Errorf("saturation rate depends on workers: serial %v, parallel %v", serial, parallel)
+	}
+}
+
+// TestParallelSweepSpeedup is the wall-clock acceptance check: on a
+// machine with >= 4 cores a multi-point three-policy sweep must run at
+// least 2x faster in parallel than serially. It skips on smaller machines
+// (and in short mode), where the golden tests above still prove the
+// engine's correctness.
+func TestParallelSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cores := runtime.GOMAXPROCS(0)
+	if cores < 4 {
+		t.Skipf("need >= 4 cores for a meaningful speedup, have %d", cores)
+	}
+	grid := LoadGrid(0.3, 6)
+	timeIt := func(workers int) time.Duration {
+		s := quickScenario()
+		s.Workers = workers
+		start := time.Now()
+		if _, err := ComparePolicies(s, grid, AllPolicies(), goldenCal()); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	timeIt(cores) // warm up
+	serial := timeIt(1)
+	parallel := timeIt(cores)
+	t.Logf("serial %v, parallel %v on %d cores (%.1fx)", serial, parallel, cores,
+		float64(serial)/float64(parallel))
+	if parallel > serial/2 {
+		t.Errorf("parallel sweep %v not >= 2x faster than serial %v on %d cores",
+			parallel, serial, cores)
+	}
+}
+
+func BenchmarkComparePoliciesSerial(b *testing.B)   { benchCompare(b, 1) }
+func BenchmarkComparePoliciesParallel(b *testing.B) { benchCompare(b, 0) }
+
+func benchCompare(b *testing.B, workers int) {
+	grid := LoadGrid(0.3, 4)
+	for i := 0; i < b.N; i++ {
+		s := quickScenario()
+		s.Workers = workers
+		if _, err := ComparePolicies(s, grid, AllPolicies(), goldenCal()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

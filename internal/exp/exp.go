@@ -1,0 +1,230 @@
+// Package exp is the parallel experiment engine: it fans a list of
+// independent simulation points out across a bounded pool of worker
+// goroutines and collects their results in input order.
+//
+// The evaluation behind the paper is a large grid of mutually independent
+// runs (policies × traffic patterns × injection rates × mesh sizes), and
+// every harness layer — core's saturation search and calibration, sweep's
+// figure and ablation generators, the cmd front-ends — funnels its grid
+// through this package instead of looping serially.
+//
+// # Determinism
+//
+// The engine never lets concurrency leak into results. Each point is a
+// self-contained closure: it owns its RNG state (constructed inside the
+// point from a deterministic seed — the sweeps reuse their scenario
+// seed per point; Seed derives per-point streams for grids that want
+// them), shares no mutable state with other points, and its result
+// lands at its own index of the output slice.
+// Consequently the output is byte-identical for any worker count,
+// including Workers=1, which is the serial reference the golden tests
+// compare against: the engine runs points one at a time on the calling
+// goroutine, in index order, with no goroutines at all.
+//
+// # Cancellation and failure
+//
+// Run derives a child context and cancels it on the first point error (or
+// panic). In-flight points finish — simulations do not observe the
+// context — but no new points start. Errors are reported as *PointError
+// values, joined in index order; a panicking point is captured with its
+// stack instead of taking down the process.
+package exp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Progress is one snapshot of a running grid, delivered to
+// Runner.OnProgress after each point completes.
+type Progress struct {
+	// Done and Total count points of this Run call.
+	Done, Total int
+	// Elapsed is the wall time since the Run started.
+	Elapsed time.Duration
+	// Remaining estimates the time to completion by linear extrapolation
+	// of the observed per-point rate (an ETA, not a promise).
+	Remaining time.Duration
+}
+
+// Runner configures one grid execution.
+type Runner struct {
+	// Workers bounds the number of concurrently running points. Zero or
+	// negative means GOMAXPROCS. Workers=1 selects the serial reference
+	// path: points run on the calling goroutine in index order.
+	Workers int
+	// OnProgress, when non-nil, is invoked after every completed point.
+	// Calls are serialized; keep the callback fast.
+	OnProgress func(Progress)
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// PointError carries the failure of one grid point.
+type PointError struct {
+	// Index is the point's position in the grid.
+	Index int
+	// Err is the point's error, or a wrapped panic value.
+	Err error
+	// Stack is the goroutine stack when the point panicked, nil otherwise.
+	Stack []byte
+}
+
+func (e *PointError) Error() string {
+	if e.Stack != nil {
+		return fmt.Sprintf("exp: point %d panicked: %v\n%s", e.Index, e.Err, e.Stack)
+	}
+	return fmt.Sprintf("exp: point %d: %v", e.Index, e.Err)
+}
+
+func (e *PointError) Unwrap() error { return e.Err }
+
+// Seed derives the RNG seed of grid point index from a root seed, using a
+// SplitMix64 finalizer so neighbouring indices map to statistically
+// independent streams. The derivation is pure: the same (root, index)
+// always yields the same seed, which is what keeps parallel execution
+// byte-identical to serial execution. The paper sweeps deliberately do
+// not use it yet — they reuse the scenario seed at every point, matching
+// the original serial harness number for number (see ROADMAP) — but any
+// grid that wants independent per-point streams (replications, variance
+// estimation) should derive them here.
+func Seed(root int64, index int) int64 {
+	z := uint64(root) + 0x9E3779B97F4A7C15*(uint64(index)+1)
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Package-wide cumulative point counters, for coarse progress reporting
+// across nested Run calls (cmd/figures polls them).
+var (
+	statScheduled atomic.Int64
+	statDone      atomic.Int64
+)
+
+// Stats returns the cumulative number of points scheduled and completed
+// by every Run call in the process, across all (possibly nested) grids.
+func Stats() (scheduled, done int64) {
+	return statScheduled.Load(), statDone.Load()
+}
+
+// Run executes fn(ctx, i) for every i in [0, n) across the runner's
+// worker pool and returns the results in index order. The returned error
+// is nil only if every point succeeded; otherwise it joins the collected
+// *PointError values in index order. On the first failure the derived
+// context is cancelled and unstarted points are abandoned (their result
+// slots keep the zero value).
+//
+// Nested Run calls are safe: a point may itself fan out a sub-grid. Each
+// call bounds only its own pool, so deep nesting can oversubscribe the
+// CPU, which costs some cache locality but never deadlocks.
+func Run[T any](ctx context.Context, r Runner, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+	statScheduled.Add(int64(n))
+	start := time.Now()
+	errs := make([]error, n)
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var mu sync.Mutex
+	done := 0
+	finish := func(i int, err error) {
+		statDone.Add(1)
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		errs[i] = err
+		if err != nil {
+			cancel()
+		}
+		if r.OnProgress != nil {
+			p := Progress{Done: done, Total: n, Elapsed: time.Since(start)}
+			if done < n {
+				p.Remaining = p.Elapsed / time.Duration(done) * time.Duration(n-done)
+			}
+			r.OnProgress(p)
+		}
+	}
+
+	if w := min(r.workers(), n); w == 1 {
+		// Serial reference path: index order on the calling goroutine.
+		for i := 0; i < n && cctx.Err() == nil; i++ {
+			finish(i, runPoint(cctx, i, fn, &results[i]))
+		}
+	} else {
+		idx := make(chan int)
+		go func() {
+			defer close(idx)
+			for i := 0; i < n; i++ {
+				select {
+				case idx <- i:
+				case <-cctx.Done():
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for range w {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					finish(i, runPoint(cctx, i, fn, &results[i]))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var all []error
+	for _, e := range errs {
+		if e != nil {
+			all = append(all, e)
+		}
+	}
+	if len(all) == 0 && ctx.Err() != nil {
+		all = append(all, ctx.Err())
+	}
+	return results, errors.Join(all...)
+}
+
+// runPoint executes one point, converting a panic into a *PointError with
+// the offending stack attached.
+func runPoint[T any](ctx context.Context, i int, fn func(context.Context, int) (T, error), out *T) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			buf := make([]byte, 16<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PointError{Index: i, Err: fmt.Errorf("panic: %v", p), Stack: buf}
+		}
+	}()
+	v, err := fn(ctx, i)
+	if err != nil {
+		return &PointError{Index: i, Err: err}
+	}
+	*out = v
+	return nil
+}
+
+// Map is Run without progress reporting: fn over [0, n) with the given
+// worker bound (<=0 means GOMAXPROCS), results in index order.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return Run(ctx, Runner{Workers: workers}, n, fn)
+}

@@ -1,0 +1,280 @@
+package exp
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// simulatePoint is a small deterministic CPU-bound stand-in for one
+// simulation run: a seeded random walk whose value depends only on the
+// seed, never on scheduling.
+func simulatePoint(seed int64, steps int) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := 0.0
+	for i := 0; i < steps; i++ {
+		x += rng.Float64() - 0.5
+	}
+	return x
+}
+
+func TestRunOrdersResults(t *testing.T) {
+	got, err := Map(context.Background(), 8, 100, func(_ context.Context, i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	const n = 64
+	point := func(_ context.Context, i int) (float64, error) {
+		return simulatePoint(Seed(42, i), 2000), nil
+	}
+	serial, err := Map(context.Background(), 1, n, point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 7, 16} {
+		par, err := Map(context.Background(), workers, n, point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: result[%d] = %v, serial %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestRunZeroPoints(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for empty grid")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRunErrorCancelsAndReports(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int64
+	_, err := Map(context.Background(), 2, 50, func(ctx context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 3 {
+			return 0, boom
+		}
+		// Give the canceller time to take effect so late points are skipped.
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the point error", err)
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) || pe.Index != 3 {
+		t.Fatalf("error %v is not a PointError for index 3", err)
+	}
+	if n := started.Load(); n == 50 {
+		t.Error("cancellation did not stop scheduling new points")
+	}
+}
+
+func TestRunPanicCapture(t *testing.T) {
+	res, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("panic did not surface as an error")
+	}
+	var pe *PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a PointError", err)
+	}
+	if pe.Index != 5 || pe.Stack == nil {
+		t.Fatalf("PointError %+v missing index/stack", pe)
+	}
+	if !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("error %q does not mention the panic value", err)
+	}
+	if res[5] != 0 {
+		t.Errorf("panicked point left non-zero result %d", res[5])
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var done atomic.Int64
+	go func() {
+		for done.Load() < 5 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	_, err := Map(ctx, 2, 10_000, func(ctx context.Context, i int) (int, error) {
+		done.Add(1)
+		time.Sleep(100 * time.Microsecond)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v is not context.Canceled", err)
+	}
+	if n := done.Load(); n == 10_000 {
+		t.Error("cancellation did not stop the grid")
+	}
+}
+
+func TestRunProgressAndETA(t *testing.T) {
+	var snaps []Progress
+	r := Runner{Workers: 3, OnProgress: func(p Progress) { snaps = append(snaps, p) }}
+	_, err := Run(context.Background(), r, 20, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 20 {
+		t.Fatalf("got %d progress callbacks, want 20", len(snaps))
+	}
+	prev := 0
+	for _, p := range snaps {
+		if p.Total != 20 {
+			t.Fatalf("Total = %d", p.Total)
+		}
+		if p.Done != prev+1 {
+			t.Fatalf("Done jumped from %d to %d", prev, p.Done)
+		}
+		prev = p.Done
+		if p.Done < p.Total && p.Elapsed > 0 && p.Remaining < 0 {
+			t.Fatalf("negative ETA %v", p.Remaining)
+		}
+	}
+	if last := snaps[len(snaps)-1]; last.Remaining != 0 {
+		t.Errorf("final Remaining = %v, want 0", last.Remaining)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	s0, d0 := Stats()
+	if _, err := Map(context.Background(), 4, 25, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s1, d1 := Stats()
+	if s1-s0 != 25 || d1-d0 != 25 {
+		t.Errorf("Stats moved by (%d, %d), want (25, 25)", s1-s0, d1-d0)
+	}
+}
+
+func TestSeedDeterministicAndSpread(t *testing.T) {
+	if Seed(1, 0) != Seed(1, 0) {
+		t.Fatal("Seed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for root := int64(0); root < 4; root++ {
+		for i := 0; i < 256; i++ {
+			s := Seed(root, i)
+			if seen[s] {
+				t.Fatalf("seed collision at root %d index %d", root, i)
+			}
+			seen[s] = true
+		}
+	}
+	// Adjacent indices must not produce correlated low bits (a plain
+	// root+index seed would).
+	if Seed(7, 1)-Seed(7, 0) == 1 {
+		t.Error("adjacent seeds differ by 1: finalizer not mixing")
+	}
+}
+
+func TestNestedRuns(t *testing.T) {
+	got, err := Map(context.Background(), 4, 8, func(ctx context.Context, i int) (int, error) {
+		inner, err := Map(ctx, 2, 4, func(_ context.Context, j int) (int, error) {
+			return i*10 + j, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		sum := 0
+		for _, v := range inner {
+			sum += v
+		}
+		return sum, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		want := i*40 + 6
+		if v != want {
+			t.Fatalf("nested result[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestWorkerPoolSpeedup demonstrates the engine's wall-clock win on
+// CPU-bound points. It needs real parallel hardware, so it skips below 4
+// cores (the sim-level speedup test in internal/core has the same gate).
+func TestWorkerPoolSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cores := runtime.GOMAXPROCS(0)
+	if cores < 4 {
+		t.Skipf("need >= 4 cores for a meaningful speedup, have %d", cores)
+	}
+	const n = 64
+	point := func(_ context.Context, i int) (float64, error) {
+		return simulatePoint(Seed(9, i), 3_000_000), nil
+	}
+	timeIt := func(workers int) time.Duration {
+		start := time.Now()
+		if _, err := Map(context.Background(), workers, n, point); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	timeIt(cores) // warm up
+	serial := timeIt(1)
+	parallel := timeIt(cores)
+	t.Logf("serial %v, parallel %v on %d cores (%.1fx)", serial, parallel, cores,
+		float64(serial)/float64(parallel))
+	if parallel > serial/2 {
+		t.Errorf("parallel %v not >= 2x faster than serial %v on %d cores", parallel, serial, cores)
+	}
+}
+
+func BenchmarkRunSerial(b *testing.B) {
+	benchRun(b, 1)
+}
+
+func BenchmarkRunParallel(b *testing.B) {
+	benchRun(b, 0)
+}
+
+func benchRun(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Map(context.Background(), workers, 32, func(_ context.Context, j int) (float64, error) {
+			return simulatePoint(Seed(int64(i), j), 100_000), nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/dvfs"
@@ -179,6 +180,9 @@ func newDMSD(t *testing.T, target float64) *dvfs.DMSD {
 }
 
 func TestDMSDTracksTargetDelay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: PI settling needs long windows")
+	}
 	// With a 150 ns target and moderate load, the measured delay must sit
 	// near the target (Fig. 4b's flat DMSD curve).
 	p := testParams(t, 0.2, newDMSD(t, 150))
@@ -197,6 +201,9 @@ func TestDMSDTracksTargetDelay(t *testing.T) {
 }
 
 func TestDMSDWarmStartSkipsTransient(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: PI settling needs long windows")
+	}
 	// A warm-started controller must settle far faster: with the initial
 	// frequency near the setpoint, the fixed short warmup suffices.
 	pol := newDMSD(t, 150)
@@ -221,6 +228,9 @@ func TestDMSDWarmStartSkipsTransient(t *testing.T) {
 }
 
 func TestPowerOrderingRMSDBelowDMSDBelowBase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: PI settling needs long windows")
+	}
 	// Fig. 6 at 0.2 injection rate: P(RMSD) < P(DMSD) < P(No-DVFS).
 	mk := func(pol dvfs.Policy) Result {
 		p := testParams(t, 0.2, pol)
@@ -294,6 +304,41 @@ func TestDeterministicResults(t *testing.T) {
 	if r1.AvgLatencyCycles != r2.AvgLatencyCycles || r1.AvgPowerMW != r2.AvgPowerMW ||
 		r1.Packets != r2.Packets {
 		t.Errorf("identical runs diverged: %+v vs %+v", r1, r2)
+	}
+}
+
+// TestRepeatedRunsFullyDeterministic is the strong form of the
+// determinism contract the parallel experiment engine builds on: for
+// every policy class, repeating a run from the same seed must reproduce
+// the *entire* Result — every float, counter and trace sample — bit for
+// bit.
+func TestRepeatedRunsFullyDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		mk   func() Params
+	}{
+		{"nodvfs", func() Params { return testParams(t, 0.2, dvfs.NewNoDVFS(1e9)) }},
+		{"rmsd", func() Params { return testParams(t, 0.25, newRMSD(t)) }},
+		{"dmsd-traced", func() Params {
+			p := testParams(t, 0.2, newDMSD(t, 150))
+			p.TraceFreq = true
+			return p
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r1, err := Run(tc.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Run(tc.mk())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Errorf("repeated %s runs diverged:\nfirst:  %+v\nsecond: %+v", tc.name, r1, r2)
+			}
+		})
 	}
 }
 

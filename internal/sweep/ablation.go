@@ -1,10 +1,12 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/dvfs"
+	"repro/internal/exp"
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -26,6 +28,10 @@ import (
 //     variations: swap the routing algorithm (XY / YX / O1TURN).
 //   - PowerBreakdown — decompose the policies' power into switching,
 //     clock and leakage, explaining *where* the V²F savings come from.
+//
+// Each study's grid points are independent runs (every point builds its
+// own controller and injector), so they fan out across the exp engine
+// under Options.Workers; rows are collected in grid order.
 
 // ablationScenario returns the baseline with the given load fraction of
 // saturation resolved against a fresh calibration.
@@ -57,24 +63,32 @@ func AblationControlPeriod(o Options) ([]Table, error) {
 	if o.Quick {
 		periods = []int64{2000, 10000, 50000}
 	}
-	for _, period := range periods {
-		pol, err := dvfs.NewDMSD(cal.TargetDelayNs, dvfs.DefaultRange())
-		if err != nil {
-			return nil, err
-		}
-		pol.WarmStart(equilibriumGuess(rate, cal))
-		p, err := buildParams(s, rate, pol)
-		if err != nil {
-			return nil, err
-		}
-		p.ControlPeriod = period
-		p.AdaptiveWarmup = true
-		res, err := sim.Run(p)
-		if err != nil {
-			return nil, err
-		}
-		errPct := 100 * (res.AvgDelayNs - cal.TargetDelayNs) / cal.TargetDelayNs
-		t.AddRow(float64(period), res.AvgDelayNs, errPct, res.AvgPowerMW, res.AvgFreqHz/1e9)
+	rows, err := exp.Map(context.Background(), o.Workers, len(periods),
+		func(_ context.Context, i int) ([]float64, error) {
+			period := periods[i]
+			pol, err := dvfs.NewDMSD(cal.TargetDelayNs, dvfs.DefaultRange())
+			if err != nil {
+				return nil, err
+			}
+			pol.WarmStart(equilibriumGuess(rate, cal))
+			p, err := buildParams(s, rate, pol)
+			if err != nil {
+				return nil, err
+			}
+			p.ControlPeriod = period
+			p.AdaptiveWarmup = true
+			res, err := sim.Run(p)
+			if err != nil {
+				return nil, err
+			}
+			errPct := 100 * (res.AvgDelayNs - cal.TargetDelayNs) / cal.TargetDelayNs
+			return []float64{float64(period), res.AvgDelayNs, errPct, res.AvgPowerMW, res.AvgFreqHz / 1e9}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []Table{t}, nil
 }
@@ -106,23 +120,31 @@ func AblationGains(o Options) ([]Table, error) {
 	if o.Quick {
 		gains = gains[1:4]
 	}
-	for _, g := range gains {
-		pol, err := dvfs.NewDMSDGains(cal.TargetDelayNs, dvfs.DefaultRange(), g.ki, g.kp)
-		if err != nil {
-			return nil, err
-		}
-		pol.WarmStart(equilibriumGuess(rate, cal))
-		p, err := buildParams(s, rate, pol)
-		if err != nil {
-			return nil, err
-		}
-		p.AdaptiveWarmup = true
-		res, err := sim.Run(p)
-		if err != nil {
-			return nil, err
-		}
-		errPct := 100 * (res.AvgDelayNs - cal.TargetDelayNs) / cal.TargetDelayNs
-		t.AddRow(g.ki, g.kp, res.AvgDelayNs, errPct, res.AvgPowerMW)
+	rows, err := exp.Map(context.Background(), o.Workers, len(gains),
+		func(_ context.Context, i int) ([]float64, error) {
+			g := gains[i]
+			pol, err := dvfs.NewDMSDGains(cal.TargetDelayNs, dvfs.DefaultRange(), g.ki, g.kp)
+			if err != nil {
+				return nil, err
+			}
+			pol.WarmStart(equilibriumGuess(rate, cal))
+			p, err := buildParams(s, rate, pol)
+			if err != nil {
+				return nil, err
+			}
+			p.AdaptiveWarmup = true
+			res, err := sim.Run(p)
+			if err != nil {
+				return nil, err
+			}
+			errPct := 100 * (res.AvgDelayNs - cal.TargetDelayNs) / cal.TargetDelayNs
+			return []float64{g.ki, g.kp, res.AvgDelayNs, errPct, res.AvgPowerMW}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []Table{t}, nil
 }
@@ -148,46 +170,54 @@ func AblationDiscreteLevels(o Options) ([]Table, error) {
 	if o.Quick {
 		counts = []int{0, 4}
 	}
-	for _, n := range counts {
-		rng := dvfs.DefaultRange()
-		if n > 0 {
-			levels, err := vm.Quantize(rng.FMin, rng.FMax, n)
+	rows, err := exp.Map(context.Background(), o.Workers, len(counts),
+		func(_ context.Context, i int) ([]float64, error) {
+			n := counts[i]
+			rng := dvfs.DefaultRange()
+			if n > 0 {
+				levels, err := vm.Quantize(rng.FMin, rng.FMax, n)
+				if err != nil {
+					return nil, err
+				}
+				rng.Levels = &levels
+			}
+			fnode := s.FNode
+			if fnode == 0 {
+				fnode = 1e9
+			}
+			rmsd, err := dvfs.NewRMSD(fnode, cal.LambdaMax, rng)
 			if err != nil {
 				return nil, err
 			}
-			rng.Levels = &levels
-		}
-		fnode := s.FNode
-		if fnode == 0 {
-			fnode = 1e9
-		}
-		rmsd, err := dvfs.NewRMSD(fnode, cal.LambdaMax, rng)
-		if err != nil {
-			return nil, err
-		}
-		dmsd, err := dvfs.NewDMSD(cal.TargetDelayNs, rng)
-		if err != nil {
-			return nil, err
-		}
-		dmsd.WarmStart(equilibriumGuess(rate, cal))
-		pr, err := buildParams(s, rate, rmsd)
-		if err != nil {
-			return nil, err
-		}
-		resR, err := sim.Run(pr)
-		if err != nil {
-			return nil, err
-		}
-		pd, err := buildParams(s, rate, dmsd)
-		if err != nil {
-			return nil, err
-		}
-		pd.AdaptiveWarmup = true
-		resD, err := sim.Run(pd)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(float64(n), resR.AvgDelayNs, resR.AvgPowerMW, resD.AvgDelayNs, resD.AvgPowerMW)
+			dmsd, err := dvfs.NewDMSD(cal.TargetDelayNs, rng)
+			if err != nil {
+				return nil, err
+			}
+			dmsd.WarmStart(equilibriumGuess(rate, cal))
+			pr, err := buildParams(s, rate, rmsd)
+			if err != nil {
+				return nil, err
+			}
+			resR, err := sim.Run(pr)
+			if err != nil {
+				return nil, err
+			}
+			pd, err := buildParams(s, rate, dmsd)
+			if err != nil {
+				return nil, err
+			}
+			pd.AdaptiveWarmup = true
+			resD, err := sim.Run(pd)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{float64(n), resR.AvgDelayNs, resR.AvgPowerMW, resD.AvgDelayNs, resD.AvgPowerMW}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []Table{t}, nil
 }
@@ -203,23 +233,32 @@ func AblationRouting(o Options) ([]Table, error) {
 		Columns: []string{"routing", "sat", "nodvfs_mw", "rmsd_mw", "rmsd_delay_ns", "dmsd_mw", "dmsd_delay_ns"},
 		Notes:   []string{"routing encoded as 0=xy 1=yx 2=o1turn"},
 	}
-	for _, r := range []noc.Routing{noc.RoutingXY, noc.RoutingYX, noc.RoutingO1TURN} {
-		s := o.baseline()
-		s.Noc.Routing = r
-		cal, err := core.Calibrate(s)
-		if err != nil {
-			return nil, fmt.Errorf("routing %v: %w", r, err)
-		}
-		rate := 0.5 * cal.SaturationRate
-		cmp, err := core.ComparePolicies(s, []float64{rate}, core.AllPolicies(), cal)
-		if err != nil {
-			return nil, fmt.Errorf("routing %v: %w", r, err)
-		}
-		n := cmp.Sweeps[core.NoDVFS].Points[0].Result
-		rm := cmp.Sweeps[core.RMSD].Points[0].Result
-		dm := cmp.Sweeps[core.DMSD].Points[0].Result
-		t.AddRow(float64(r), cal.SaturationRate, n.AvgPowerMW,
-			rm.AvgPowerMW, rm.AvgDelayNs, dm.AvgPowerMW, dm.AvgDelayNs)
+	routings := []noc.Routing{noc.RoutingXY, noc.RoutingYX, noc.RoutingO1TURN}
+	rows, err := exp.Map(context.Background(), o.Workers, len(routings),
+		func(_ context.Context, i int) ([]float64, error) {
+			r := routings[i]
+			s := o.baseline()
+			s.Noc.Routing = r
+			cal, err := core.Calibrate(s)
+			if err != nil {
+				return nil, fmt.Errorf("routing %v: %w", r, err)
+			}
+			rate := 0.5 * cal.SaturationRate
+			cmp, err := core.ComparePolicies(s, []float64{rate}, core.AllPolicies(), cal)
+			if err != nil {
+				return nil, fmt.Errorf("routing %v: %w", r, err)
+			}
+			n := cmp.Sweeps[core.NoDVFS].Points[0].Result
+			rm := cmp.Sweeps[core.RMSD].Points[0].Result
+			dm := cmp.Sweeps[core.DMSD].Points[0].Result
+			return []float64{float64(r), cal.SaturationRate, n.AvgPowerMW,
+				rm.AvgPowerMW, rm.AvgDelayNs, dm.AvgPowerMW, dm.AvgDelayNs}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []Table{t}, nil
 }
@@ -240,12 +279,20 @@ func PowerBreakdown(o Options) ([]Table, error) {
 		Notes:   []string{calNote(cal), "policy encoded as 0=nodvfs 1=rmsd 2=dmsd"},
 	}
 	rate := 0.5 * cal.SaturationRate
-	for i, kind := range core.AllPolicies() {
-		res, err := core.RunOne(s, kind, rate, cal)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow(float64(i), res.AvgPowerMW, res.SwitchingMW, res.ClockMW, res.LeakageMW)
+	kinds := core.AllPolicies()
+	rows, err := exp.Map(context.Background(), o.Workers, len(kinds),
+		func(_ context.Context, i int) ([]float64, error) {
+			res, err := core.RunOne(s, kinds[i], rate, cal)
+			if err != nil {
+				return nil, err
+			}
+			return []float64{float64(i), res.AvgPowerMW, res.SwitchingMW, res.ClockMW, res.LeakageMW}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 	return []Table{t}, nil
 }

@@ -1,12 +1,14 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/dvfs"
+	"repro/internal/exp"
 	"repro/internal/noc"
 	"repro/internal/power"
 	"repro/internal/sim"
@@ -24,6 +26,10 @@ type Options struct {
 	Points int
 	// Seed makes all runs reproducible (default 1).
 	Seed int64
+	// Workers bounds how many simulation points run concurrently across
+	// the figure generators (0 = GOMAXPROCS, 1 = serial). The tables are
+	// byte-identical for every value; see package exp.
+	Workers int
 }
 
 func (o *Options) setDefaults() {
@@ -47,6 +53,7 @@ func (o *Options) baseline() core.Scenario {
 		Pattern: "uniform",
 		Quick:   o.Quick,
 		Seed:    o.Seed,
+		Workers: o.Workers,
 	}
 }
 
@@ -179,29 +186,36 @@ func Fig6(b *Bundle) []Table {
 
 // Fig7 renders the four synthetic-pattern panels: delay and power vs
 // injection rate under tornado, bit-complement, transpose and neighbor.
+// The four panels are independent studies and run concurrently.
 func Fig7(o Options) ([]Table, error) {
 	o.setDefaults()
-	var tables []Table
-	for _, pattern := range traffic.PaperPatterns() {
-		s := o.baseline()
-		s.Pattern = pattern
-		cal, err := core.Calibrate(s)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
-		}
-		grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
-		cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
-		}
-		tables = append(tables, comparisonTables("fig7", pattern, cmp)...)
+	patterns := traffic.PaperPatterns()
+	panels, err := exp.Map(context.Background(), o.Workers, len(patterns),
+		func(_ context.Context, i int) ([]Table, error) {
+			pattern := patterns[i]
+			s := o.baseline()
+			s.Pattern = pattern
+			cal, err := core.Calibrate(s)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
+			}
+			grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
+			cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
+			}
+			return comparisonTables("fig7", pattern, cmp), nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return tables, nil
+	return flatten(panels), nil
 }
 
 // Fig8 renders the sensitivity study: delay and power when varying the
 // number of VCs, buffers per VC, packet size, and mesh size, under uniform
-// traffic.
+// traffic. The twelve variants are independent studies and run
+// concurrently.
 func Fig8(o Options) ([]Table, error) {
 	o.setDefaults()
 	type variant struct {
@@ -233,9 +247,13 @@ func Fig8(o Options) ([]Table, error) {
 			{"mesh8x8", func(c *noc.Config) { c.Width, c.Height = 8, 8 }},
 		}},
 	}
-	var tables []Table
+	var flat []variant
 	for _, dim := range dims {
-		for _, v := range dim.variants {
+		flat = append(flat, dim.variants...)
+	}
+	panels, err := exp.Map(context.Background(), o.Workers, len(flat),
+		func(_ context.Context, i int) ([]Table, error) {
+			v := flat[i]
 			s := o.baseline()
 			v.mutate(&s.Noc)
 			cal, err := core.Calibrate(s)
@@ -247,43 +265,51 @@ func Fig8(o Options) ([]Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s: %w", v.label, err)
 			}
-			tables = append(tables, comparisonTables("fig8", v.label, cmp)...)
-		}
+			return comparisonTables("fig8", v.label, cmp), nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return tables, nil
+	return flatten(panels), nil
 }
 
 // Fig10 renders the multimedia panels: delay and power vs application
-// speed for the H.264 encoder (4x4) and the VCE (5x5).
+// speed for the H.264 encoder (4x4) and the VCE (5x5). The two workloads
+// run concurrently.
 func Fig10(o Options) ([]Table, error) {
 	o.setDefaults()
-	var tables []Table
-	for _, app := range apps.Apps() {
-		app := app
-		s := core.Scenario{
-			Noc:   noc.DefaultConfig(),
-			App:   &app,
-			Quick: o.Quick,
-			Seed:  o.Seed,
-		}
-		s.Noc.Width, s.Noc.Height = app.Width, app.Height
-		cal, err := core.Calibrate(s)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
-		}
-		grid := core.LoadGrid(1.0, o.Points) // speeds up to 1.0 ≡ 75 f/s
-		cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
-		if err != nil {
-			return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
-		}
-		ts := comparisonTables("fig10", app.Name, cmp)
-		for i := range ts {
-			ts[i].Columns[0] = "speed"
-			ts[i].Notes = append(ts[i].Notes, "speed 1.0 ≡ 75 frames/s in the paper's normalization")
-		}
-		tables = append(tables, ts...)
+	workloads := apps.Apps()
+	panels, err := exp.Map(context.Background(), o.Workers, len(workloads),
+		func(_ context.Context, i int) ([]Table, error) {
+			app := workloads[i]
+			s := core.Scenario{
+				Noc:     noc.DefaultConfig(),
+				App:     &app,
+				Quick:   o.Quick,
+				Seed:    o.Seed,
+				Workers: o.Workers,
+			}
+			s.Noc.Width, s.Noc.Height = app.Width, app.Height
+			cal, err := core.Calibrate(s)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
+			}
+			grid := core.LoadGrid(1.0, o.Points) // speeds up to 1.0 ≡ 75 f/s
+			cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+			if err != nil {
+				return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
+			}
+			ts := comparisonTables("fig10", app.Name, cmp)
+			for i := range ts {
+				ts[i].Columns[0] = "speed"
+				ts[i].Notes = append(ts[i].Notes, "speed 1.0 ≡ 75 frames/s in the paper's normalization")
+			}
+			return ts, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	return tables, nil
+	return flatten(panels), nil
 }
 
 // comparisonTables converts one Comparison into a delay table and a power
@@ -390,6 +416,15 @@ func Summary(b *Bundle) []Table {
 			ratio(rm[i].Result.AvgDelayNs, dm[i].Result.AvgDelayNs))
 	}
 	return []Table{t}
+}
+
+// flatten concatenates per-panel table slices in panel order.
+func flatten(panels [][]Table) []Table {
+	var tables []Table
+	for _, p := range panels {
+		tables = append(tables, p...)
+	}
+	return tables
 }
 
 // nearestIdx returns the index of the point whose load is closest to x.
