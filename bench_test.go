@@ -20,6 +20,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -39,7 +40,7 @@ var benchBundle *sweep.Bundle
 func getBenchBundle(b *testing.B) *sweep.Bundle {
 	b.Helper()
 	if benchBundle == nil {
-		bundle, err := sweep.BaselineBundle(benchOpts())
+		bundle, err := sweep.BaselineBundle(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -116,12 +117,12 @@ func benchFig7Pattern(b *testing.B, pattern string) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
 		s := core.Scenario{Noc: noc.DefaultConfig(), Pattern: pattern, Quick: true, Seed: o.Seed}
-		cal, err := core.Calibrate(s)
+		cal, err := core.Calibrate(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
 		grid := core.LoadGrid(0.8*cal.SaturationRate, 2)
-		cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+		cmp, err := core.ComparePolicies(context.Background(), s, grid, core.AllPolicies(), cal)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,11 +144,11 @@ func benchFig8Variant(b *testing.B, mutate func(*noc.Config)) {
 	for i := 0; i < b.N; i++ {
 		s := core.Scenario{Noc: noc.DefaultConfig(), Pattern: "uniform", Quick: true, Seed: 1}
 		mutate(&s.Noc)
-		cal, err := core.Calibrate(s)
+		cal, err := core.Calibrate(context.Background(), s)
 		if err != nil {
 			b.Fatal(err)
 		}
-		cmp, err := core.ComparePolicies(s, []float64{0.5 * cal.SaturationRate}, core.AllPolicies(), cal)
+		cmp, err := core.ComparePolicies(context.Background(), s, []float64{0.5 * cal.SaturationRate}, core.AllPolicies(), cal)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -180,7 +181,7 @@ func benchFig10App(b *testing.B, name string) {
 	o := benchOpts()
 	o.Points = 2
 	for i := 0; i < b.N; i++ {
-		tables, err := sweep.Fig10(o)
+		tables, err := sweep.Fig10(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func BenchmarkFig10_Multimedia(b *testing.B) { benchFig10App(b, "h264") }
 func BenchmarkPIConvergence(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		tables, err := sweep.PIStep(o)
+		tables, err := sweep.PIStep(context.Background(), o)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 // Command capacity reports, for a network configuration and traffic
 // pattern, the theoretical channel-load capacity and the empirically
 // measured saturation rate, plus the RMSD calibration derived from them.
+// It is a thin flag translation over the public nocsim package.
 //
 //	capacity -pattern uniform
 //	capacity -pattern tornado -width 8 -height 8 -quick
@@ -11,9 +12,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/noc"
-	"repro/internal/traffic"
+	"repro/internal/cli"
+	"repro/nocsim"
 )
 
 func main() {
@@ -34,29 +34,37 @@ func main() {
 	)
 	flag.Parse()
 
-	ralgo, err := noc.ParseRouting(*routing)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	opts := []nocsim.Option{
+		nocsim.WithMesh(*width, *height),
+		nocsim.WithVCs(*vcs),
+		nocsim.WithBuffers(*bufs),
+		nocsim.WithPacketSize(*pkt),
+		nocsim.WithRouting(nocsim.Routing(*routing)),
+		nocsim.WithPattern(*pattern),
+		nocsim.WithSeed(*seed),
+		nocsim.WithWorkers(*workers),
+	}
+	if *quick {
+		opts = append(opts, nocsim.WithQuick())
+	}
+	s, err := nocsim.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := noc.Config{
-		Width: *width, Height: *height, VCs: *vcs,
-		BufDepth: *bufs, PacketSize: *pkt, Routing: ralgo,
-	}
-	if err := cfg.Validate(); err != nil {
-		log.Fatal(err)
-	}
-	pat, err := traffic.ByName(*pattern, cfg)
+
+	theo, err := nocsim.TheoreticalCapacity(s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	theo := noc.TheoreticalCapacity(cfg, traffic.Matrix(pat, cfg))
 	fmt.Printf("configuration:         %dx%d mesh, %d VCs, %d buf/VC, %d-flit packets, %s routing\n",
-		cfg.Width, cfg.Height, cfg.VCs, cfg.BufDepth, cfg.PacketSize, cfg.Routing)
-	fmt.Printf("pattern:               %s\n", pat.Name())
+		s.Mesh.Width, s.Mesh.Height, s.Mesh.VCs, s.Mesh.BufDepth, s.Mesh.PacketSize, s.Mesh.Routing)
+	fmt.Printf("pattern:               %s\n", s.Pattern)
 	fmt.Printf("theoretical capacity:  %.4f flits/node/cycle (1 / max channel load)\n", theo)
 
-	s := core.Scenario{Noc: cfg, Pattern: *pattern, Seed: *seed, Quick: *quick, Workers: *workers}
-	cal, err := core.Calibrate(s)
+	cal, err := nocsim.Calibrate(ctx, s)
 	if err != nil {
 		log.Fatal(err)
 	}

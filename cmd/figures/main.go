@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/sweep"
 )
@@ -35,7 +36,8 @@ func reportProgress(interval time.Duration) {
 		rate := float64(done) / elapsed.Seconds()
 		msg := fmt.Sprintf("progress: %d/%d points, %.1f points/s", done, scheduled, rate)
 		if left := scheduled - done; left > 0 && rate > 0 {
-			msg += fmt.Sprintf(", eta >= %s", (time.Duration(float64(left)/rate*float64(time.Second))).Round(time.Second))
+			eta := time.Duration(float64(left) / rate * float64(time.Second))
+			msg += fmt.Sprintf(", eta >= %s", eta.Round(time.Second))
 		}
 		log.Print(msg)
 	}
@@ -56,6 +58,11 @@ func main() {
 	)
 	flag.Parse()
 
+	// Interrupt cancels the context, which aborts in-flight simulations
+	// promptly (the engine loop observes it).
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
 	o := sweep.Options{Quick: *quick, Points: *points, Seed: *seed, Workers: *workers}
 	if *progress {
 		go reportProgress(3 * time.Second)
@@ -71,7 +78,7 @@ func main() {
 	if needBundle {
 		log.Println("running baseline three-policy sweep (figs 2/4/6/summary)...")
 		var err error
-		bundle, err = sweep.BaselineBundle(o)
+		bundle, err = sweep.BaselineBundle(ctx, o)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -98,30 +105,30 @@ func main() {
 	}
 	if all || want["7"] {
 		log.Println("running synthetic-pattern sweeps (fig 7)...")
-		add(sweep.Fig7(o))
+		add(sweep.Fig7(ctx, o))
 	}
 	if all || want["8"] {
 		log.Println("running sensitivity sweeps (fig 8)...")
-		add(sweep.Fig8(o))
+		add(sweep.Fig8(ctx, o))
 	}
 	if all || want["10"] {
 		log.Println("running multimedia sweeps (fig 10)...")
-		add(sweep.Fig10(o))
+		add(sweep.Fig10(ctx, o))
 	}
 	if all || want["pi"] {
 		log.Println("running PI transient (pi)...")
-		add(sweep.PIStep(o))
+		add(sweep.PIStep(ctx, o))
 	}
 	if all || want["summary"] {
 		add(sweep.Summary(bundle), nil)
 	}
 	if all || want["ablation"] {
 		log.Println("running ablations (control period, gains, levels, routing, breakdown)...")
-		add(sweep.AblationControlPeriod(o))
-		add(sweep.AblationGains(o))
-		add(sweep.AblationDiscreteLevels(o))
-		add(sweep.AblationRouting(o))
-		add(sweep.PowerBreakdown(o))
+		add(sweep.AblationControlPeriod(ctx, o))
+		add(sweep.AblationGains(ctx, o))
+		add(sweep.AblationDiscreteLevels(ctx, o))
+		add(sweep.AblationRouting(ctx, o))
+		add(sweep.PowerBreakdown(ctx, o))
 	}
 	if len(tables) == 0 {
 		log.Fatalf("nothing selected by -fig %q", *figs)

@@ -1,28 +1,33 @@
 // Command nocsim runs a single NoC simulation at one operating point and
 // prints the measured latency, delay, throughput, frequency and power.
+// It is a thin flag-to-Scenario translation over the public nocsim
+// package: every flag maps onto one option, and -scenario accepts the
+// same JSON wire form that nocsim.Scenario marshals to.
 //
 // Examples:
 //
 //	nocsim -pattern uniform -rate 0.2 -policy nodvfs
 //	nocsim -pattern tornado -rate 0.15 -policy rmsd -lambda-max 0.3
 //	nocsim -pattern uniform -rate 0.2 -policy dmsd -target 150
-//	nocsim -app h264 -speed 0.8 -policy dmsd -target 120 -width 4 -height 4
+//	nocsim -app h264 -speed 0.8 -policy dmsd -target 120
+//	nocsim -scenario job.json
+//	nocsim -pattern uniform -rate 0.2 -dump-scenario   # print the wire form
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"time"
 
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/noc"
-	"repro/internal/trace"
+	"repro/internal/cli"
+	"repro/nocsim"
 )
 
 // dumpLogs writes the requested per-packet and per-flow CSVs.
-func dumpLogs(plog *trace.Log, packetPath, flowPath string) error {
+func dumpLogs(plog *nocsim.PacketLog, packetPath, flowPath string) error {
 	write := func(path string, fn func(f *os.File) error) error {
 		if path == "" {
 			return nil
@@ -73,77 +78,110 @@ func main() {
 		seed  = flag.Int64("seed", 1, "random seed")
 		quick = flag.Bool("quick", false, "shorter warmup/measurement windows")
 
+		scenarioPath = flag.String("scenario", "", "run a JSON scenario file instead of building one from flags")
+		dumpScenario = flag.Bool("dump-scenario", false, "print the scenario's JSON wire form and exit without running")
+
 		packetLog = flag.String("packet-log", "", "write per-packet lifecycle CSV to this file")
 		flowLog   = flag.String("flow-log", "", "write per-flow aggregate CSV to this file")
 	)
 	flag.Parse()
 
-	ralgo, err := noc.ParseRouting(*routing)
-	if err != nil {
-		log.Fatal(err)
-	}
-	s := core.Scenario{
-		Noc: noc.Config{
-			Width: *width, Height: *height, VCs: *vcs,
-			BufDepth: *bufs, PacketSize: *pkt, Routing: ralgo,
-		},
-		Seed:  *seed,
-		Quick: *quick,
-	}
-	var plog *trace.Log
-	if *packetLog != "" || *flowLog != "" {
-		plog = trace.NewLog(0)
-		s.PacketLog = plog
-	}
-	load := *rate
-	if *appName != "" {
-		var app apps.App
-		switch *appName {
-		case "h264":
-			app = apps.H264()
-		case "vce":
-			app = apps.VCE()
-		default:
-			log.Fatalf("unknown app %q (want h264 or vce)", *appName)
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	var s nocsim.Scenario
+	var err error
+	if *scenarioPath != "" {
+		// The file is the whole scenario; warn about shaping flags that
+		// would otherwise be silently ignored.
+		shaping := map[string]bool{
+			"width": true, "height": true, "vcs": true, "buffers": true,
+			"packet": true, "routing": true, "pattern": true, "rate": true,
+			"app": true, "speed": true, "policy": true, "lambda-max": true,
+			"target": true, "seed": true, "quick": true,
 		}
-		s.App = &app
-		s.Noc.Width, s.Noc.Height = app.Width, app.Height
-		load = *speed
+		flag.Visit(func(f *flag.Flag) {
+			if shaping[f.Name] {
+				fmt.Fprintf(os.Stderr, "nocsim: -%s is ignored when -scenario is given\n", f.Name)
+			}
+		})
+		data, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &s); err != nil {
+			log.Fatalf("parsing %s: %v", *scenarioPath, err)
+		}
+		// Partial wire scenarios are legal: fill the documented defaults
+		// before validating, exactly as Run would.
+		s = s.Normalized()
+		if err := s.Validate(); err != nil {
+			log.Fatal(err)
+		}
 	} else {
-		s.Pattern = *pattern
+		opts := []nocsim.Option{
+			nocsim.WithMesh(*width, *height),
+			nocsim.WithVCs(*vcs),
+			nocsim.WithBuffers(*bufs),
+			nocsim.WithPacketSize(*pkt),
+			nocsim.WithRouting(nocsim.Routing(*routing)),
+			nocsim.WithPolicy(nocsim.PolicyKind(*policy)),
+			nocsim.WithSeed(*seed),
+		}
+		if *appName != "" {
+			opts = append(opts, nocsim.WithApp(*appName), nocsim.WithLoad(*speed))
+		} else {
+			opts = append(opts, nocsim.WithPattern(*pattern), nocsim.WithLoad(*rate))
+		}
+		if *quick {
+			opts = append(opts, nocsim.WithQuick())
+		}
+		if *lambdaMax > 0 || *target > 0 {
+			// Partial manual calibration: fill what the user gave, guess
+			// the rest conservatively. Validation rejects a policy whose
+			// own operating point is missing.
+			opts = append(opts, nocsim.WithCalibration(nocsim.Calibration{
+				SaturationRate: *lambdaMax / 0.9,
+				LambdaMax:      *lambdaMax,
+				TargetDelayNs:  *target,
+			}))
+		}
+		if s, err = nocsim.New(opts...); err != nil {
+			log.Fatal(err)
+		}
 	}
 
-	kind := core.PolicyKind(*policy)
-	cal := core.Calibration{}
-	if *lambdaMax > 0 || *target > 0 {
-		// Partial manual calibration: fill what the user gave, guess the
-		// rest conservatively.
-		cal = core.Calibration{
-			SaturationRate: *lambdaMax / 0.9,
-			LambdaMax:      *lambdaMax,
-			TargetDelayNs:  *target,
-		}
-		if kind == core.RMSD && *lambdaMax == 0 {
-			log.Fatal("-policy rmsd needs -lambda-max (or leave both unset for auto-calibration)")
-		}
-		if kind == core.DMSD && *target == 0 {
-			log.Fatal("-policy dmsd needs -target (or leave both unset for auto-calibration)")
+	var plog *nocsim.PacketLog
+	if *packetLog != "" || *flowLog != "" {
+		plog = nocsim.NewPacketLog(0)
+		if s, err = s.With(nocsim.WithPacketLog(plog)); err != nil {
+			log.Fatal(err)
 		}
 	}
 
-	res, err := core.RunOne(s, kind, load, cal)
+	if *dumpScenario {
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+
+	res, err := nocsim.Run(ctx, s)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("scenario:    %s\n", describe(s, load))
-	fmt.Printf("policy:      %s\n", kind)
+	fmt.Printf("scenario:    %s\n", describe(res.Scenario))
+	fmt.Printf("policy:      %s\n", res.Scenario.Policy)
 	fmt.Printf("latency:     %.1f network cycles\n", res.AvgLatencyCycles)
 	fmt.Printf("delay:       %.1f ns (p99 %.0f ns)\n", res.AvgDelayNs, res.P99DelayNs)
 	fmt.Printf("throughput:  %.4f flits/node/cycle (offered %.4f)\n", res.Throughput, res.OfferedRate)
 	fmt.Printf("frequency:   %.1f MHz (avg), voltage %.3f V\n", res.AvgFreqHz/1e6, res.AvgVolts)
 	fmt.Printf("power:       %.1f mW\n", res.AvgPowerMW)
-	fmt.Printf("packets:     %d measured over %.1f µs\n", res.Packets, res.ElapsedNs/1e3)
+	fmt.Printf("packets:     %d measured over %.1f µs (wall %s)\n",
+		res.Packets, res.ElapsedNs/1e3, res.Meta.WallTime.Round(time.Millisecond))
 	if plog != nil {
 		if err := dumpLogs(plog, *packetLog, *flowLog); err != nil {
 			log.Fatal(err)
@@ -155,14 +193,14 @@ func main() {
 	}
 }
 
-func describe(s core.Scenario, load float64) string {
+func describe(s nocsim.Scenario) string {
 	traffic := s.Pattern
-	loadLabel := fmt.Sprintf("rate %.3f", load)
-	if s.App != nil {
-		traffic = s.App.Name
-		loadLabel = fmt.Sprintf("speed %.2f", load)
+	loadLabel := fmt.Sprintf("rate %.3f", s.Load)
+	if s.App != "" {
+		traffic = s.App
+		loadLabel = fmt.Sprintf("speed %.2f", s.Load)
 	}
 	return fmt.Sprintf("%dx%d mesh, %d VCs, %d buf/VC, %d-flit packets, %s routing, %s traffic, %s",
-		s.Noc.Width, s.Noc.Height, s.Noc.VCs, s.Noc.BufDepth, s.Noc.PacketSize,
-		s.Noc.Routing, traffic, loadLabel)
+		s.Mesh.Width, s.Mesh.Height, s.Mesh.VCs, s.Mesh.BufDepth, s.Mesh.PacketSize,
+		s.Mesh.Routing, traffic, loadLabel)
 }

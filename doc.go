@@ -5,7 +5,22 @@
 // FDSOI-calibrated voltage/frequency and power model, and a benchmark
 // harness that regenerates every figure of the paper's evaluation.
 //
-// The implementation lives under internal/:
+// # Public API
+//
+// The module's exported face is the nocsim package: a context-aware,
+// JSON-serializable Scenario/Run/Sweep API. Build a scenario with
+// functional options, run it under a cancellable context, or cross it
+// with loads × policies into a Grid whose points are self-contained
+// jobs:
+//
+//	s, _ := nocsim.New(nocsim.WithPattern("uniform"), nocsim.WithLoad(0.2))
+//	res, err := nocsim.Run(ctx, s)
+//
+// See the nocsim package documentation and README.md for the quickstart.
+//
+// # Internals
+//
+// The substrates live under internal/:
 //
 //	internal/noc      cycle-accurate VC wormhole router mesh (the Booksim substitute)
 //	internal/traffic  synthetic patterns, traffic matrices, node-clock injection
@@ -14,23 +29,26 @@
 //	internal/dvfs     No-DVFS, RMSD, DMSD policies and the PI controller
 //	internal/power    event-energy power model and integrator
 //	internal/stats    streaming statistics
-//	internal/sim      the two-clock-domain simulation engine
+//	internal/sim      the two-clock-domain simulation engine (context-aware)
 //	internal/exp      parallel deterministic experiment runner (worker pool)
 //	internal/core     experiments: calibration, saturation search, sweeps
 //	internal/sweep    figure/table generators for the whole evaluation
 //
 // Every experiment grid — policy comparisons, saturation searches, figure
 // panels, ablations — is fanned out across GOMAXPROCS workers by
-// internal/exp. Each grid point is a self-contained closure owning its
-// RNG (every point builds its own injector, which derives one stream per
-// node from the scenario seed), results are collected in grid order, a
-// panicking point is captured with its stack, and the first failure
-// cancels the remaining grid via context. Output is byte-identical for
-// any worker count — Workers=1 is the serial reference the
+// internal/exp. Each grid point is a self-contained closure owning an
+// independent RNG stream derived from the root seed (exp.Seed, a
+// SplitMix64 finalizer), results are collected in grid order, a panicking
+// point is captured with its stack, and cancellation or first failure
+// stops the grid — the engine loop itself observes the context, so
+// in-flight simulations abort promptly. Output is byte-identical for any
+// worker count — Workers=1 is the serial reference the
 // golden-determinism tests compare against.
 //
-// Entry points: cmd/nocsim (single run), cmd/figures (regenerate the
-// evaluation), cmd/capacity (saturation analysis), and examples/.
+// Entry points: cmd/nocsim (single run or JSON scenario), cmd/figures
+// (regenerate the evaluation), cmd/capacity (saturation analysis),
+// cmd/report (paper-vs-measured report), and examples/ — all thin
+// translations over the nocsim package.
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's tables
 // and figures; see EXPERIMENTS.md for measured-vs-paper comparisons.

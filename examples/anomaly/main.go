@@ -1,8 +1,9 @@
 // Anomaly: reproduce the paper's headline observation (Sec. III, Fig. 2b)
 // two independent ways and plot both in the terminal:
 //
-//  1. Cycle-accurate simulation: RMSD delay in nanoseconds vs injection
-//     rate on the baseline 5x5 NoC — non-monotonic with a peak at λmin.
+//  1. Cycle-accurate simulation (through the public nocsim API): RMSD
+//     delay in nanoseconds vs injection rate on the baseline 5x5 NoC —
+//     non-monotonic with a peak at λmin.
 //  2. The single-server M/M/1 model of the paper's reference [12]
 //     (internal/queueing), which predicts the same shape analytically.
 //
@@ -13,17 +14,18 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/noc"
 	"repro/internal/queueing"
 	"repro/internal/sweep"
+	"repro/nocsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	// --- analytic model -------------------------------------------------
 	qm := queueing.New()
@@ -43,21 +45,31 @@ func main() {
 		qm.LambdaMin(rho)/qm.MaxArrivalRate(), qm.RMSDPeakRatio(rho))
 
 	// --- cycle-accurate simulation --------------------------------------
-	s := core.Scenario{Noc: noc.DefaultConfig(), Pattern: "uniform", Quick: true}
-	cal, err := core.Calibrate(s)
+	s, err := nocsim.New(nocsim.WithPattern("uniform"), nocsim.WithQuick())
 	if err != nil {
 		log.Fatal(err)
 	}
-	grid := core.LoadGrid(0.9*cal.SaturationRate, 8)
-	cmp, err := core.ComparePolicies(s, grid, []core.PolicyKind{core.NoDVFS, core.RMSD}, cal)
+	cal, err := nocsim.Calibrate(ctx, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var loads []float64
+	for i := 1; i <= 8; i++ {
+		loads = append(loads, 0.9*cal.SaturationRate*float64(i)/8)
+	}
+	results, err := nocsim.Sweep(ctx, nocsim.Grid{
+		Base:     s,
+		Loads:    loads,
+		Policies: []nocsim.PolicyKind{nocsim.NoDVFS, nocsim.RMSD},
+	}, nocsim.WithCalibration(cal))
 	if err != nil {
 		log.Fatal(err)
 	}
 	var sx, sGHzDelay, sBaseDelay []float64
-	for i, p := range cmp.Sweeps[core.RMSD].Points {
-		sx = append(sx, p.Load)
-		sGHzDelay = append(sGHzDelay, p.Result.AvgDelayNs)
-		sBaseDelay = append(sBaseDelay, cmp.Sweeps[core.NoDVFS].Points[i].Result.AvgDelayNs)
+	for i, load := range loads {
+		sx = append(sx, load)
+		sBaseDelay = append(sBaseDelay, results[i].AvgDelayNs)          // No-DVFS block
+		sGHzDelay = append(sGHzDelay, results[len(loads)+i].AvgDelayNs) // RMSD block
 	}
 	fmt.Println(sweep.AsciiPlot(
 		"Simulated 5x5 NoC: packet delay (ns) vs injection rate",

@@ -2,48 +2,53 @@
 // encoder (4x4 mesh) and the Video Conference Encoder (5x5 mesh)
 // communication graphs at increasing application speed and watch the
 // power-delay trade-off of the three DVFS policies on realistic traffic.
+// The workloads are selected by name through the public nocsim API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/apps"
-	"repro/internal/core"
-	"repro/internal/noc"
+	"repro/nocsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	for _, app := range apps.Apps() {
-		app := app
-		s := core.Scenario{
-			Noc:   noc.DefaultConfig(),
-			App:   &app,
-			Quick: true,
+	for _, app := range nocsim.Apps() {
+		s, err := nocsim.New(
+			nocsim.WithApp(app.Name),
+			nocsim.WithQuick(),
+		)
+		if err != nil {
+			log.Fatal(err)
 		}
-		s.Noc.Width, s.Noc.Height = app.Width, app.Height
-
-		cal, err := core.Calibrate(s)
+		cal, err := nocsim.Calibrate(ctx, s)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s on a %dx%d mesh (%d blocks, %d edges, %.0f packets/frame)\n",
-			app.Name, app.Width, app.Height, len(app.Blocks), len(app.Edges),
-			app.TotalPacketsPerFrame())
+			app.Name, app.Width, app.Height, app.Blocks, app.Edges, app.PacketsPerFrame)
 
 		speeds := []float64{0.25, 0.5, 0.75, 1.0} // 1.0 ≡ 75 frames/s
-		cmp, err := core.ComparePolicies(s, speeds, core.AllPolicies(), cal)
+		results, err := nocsim.Sweep(ctx, nocsim.Grid{
+			Base:     s,
+			Loads:    speeds,
+			Policies: nocsim.AllPolicies(),
+		}, nocsim.WithCalibration(cal))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("speed    No-DVFS          RMSD             DMSD")
 		fmt.Println("         mW     ns        mW     ns        mW     ns")
 		for i, sp := range speeds {
-			n := cmp.Sweeps[core.NoDVFS].Points[i].Result
-			r := cmp.Sweeps[core.RMSD].Points[i].Result
-			d := cmp.Sweeps[core.DMSD].Points[i].Result
+			// Sweep orders points policy-major: No-DVFS block, then RMSD,
+			// then DMSD, each over the speed grid.
+			n := results[i]
+			r := results[len(speeds)+i]
+			d := results[2*len(speeds)+i]
 			fmt.Printf("%.2f   %6.1f %6.0f   %6.1f %6.0f   %6.1f %6.0f\n",
 				sp,
 				n.AvgPowerMW, n.AvgDelayNs,

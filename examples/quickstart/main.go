@@ -3,53 +3,59 @@
 // policies and print the power-delay trade-off that is the paper's core
 // result: RMSD saves the most power but pays for it with a large delay;
 // DMSD holds the delay at its target for a modest extra power cost.
+//
+// The whole example uses only the public nocsim API: build a Scenario
+// with options, Calibrate once, Sweep the three policies.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/noc"
+	"repro/nocsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
-	scenario := core.Scenario{
-		Noc:     noc.DefaultConfig(), // the paper's router and mesh
-		Pattern: "uniform",
-		Quick:   true, // short windows so the example runs in seconds
+	scenario, err := nocsim.New(
+		nocsim.WithPattern("uniform"), // the paper's baseline traffic
+		nocsim.WithLoad(0.2),          // flits per node per node cycle
+		nocsim.WithQuick(),            // short windows so the example runs in seconds
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	// Calibrate once: find the saturation rate, set the RMSD target rate
 	// 10% below it, and set the DMSD delay target to the near-saturation
 	// delay (exactly the paper's recipe).
-	cal, err := core.Calibrate(scenario)
+	cal, err := nocsim.Calibrate(ctx, scenario)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("saturation %.3f flits/node/cycle -> λmax %.3f, DMSD target %.0f ns\n\n",
 		cal.SaturationRate, cal.LambdaMax, cal.TargetDelayNs)
 
-	const rate = 0.2
-	fmt.Printf("uniform traffic at %.2f flits/node/cycle:\n\n", rate)
+	fmt.Printf("uniform traffic at %.2f flits/node/cycle:\n\n", scenario.Load)
 	fmt.Printf("%-8s  %12s  %12s  %10s\n", "policy", "delay (ns)", "power (mW)", "freq (MHz)")
-	var base core.Point
-	for _, kind := range core.AllPolicies() {
-		res, err := core.RunOne(scenario, kind, rate, cal)
-		if err != nil {
-			log.Fatal(err)
-		}
+	results, err := nocsim.Sweep(ctx, nocsim.Grid{
+		Base:     scenario,
+		Policies: nocsim.AllPolicies(),
+	}, nocsim.WithCalibration(cal))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := results[0] // No-DVFS comes first in AllPolicies order
+	for _, res := range results {
 		fmt.Printf("%-8s  %12.1f  %12.1f  %10.0f\n",
-			kind, res.AvgDelayNs, res.AvgPowerMW, res.AvgFreqHz/1e6)
-		if kind == core.NoDVFS {
-			base = core.Point{Load: rate, Result: res}
-		}
-		if kind == core.RMSD {
+			res.Scenario.Policy, res.AvgDelayNs, res.AvgPowerMW, res.AvgFreqHz/1e6)
+		if res.Scenario.Policy == nocsim.RMSD {
 			fmt.Printf("%-8s  (%.1fx the No-DVFS delay, %.0f%% power saving)\n", "",
-				res.AvgDelayNs/base.Result.AvgDelayNs,
-				100*(1-res.AvgPowerMW/base.Result.AvgPowerMW))
+				res.AvgDelayNs/base.AvgDelayNs,
+				100*(1-res.AvgPowerMW/base.AvgPowerMW))
 		}
 	}
 	fmt.Println("\nThe trade-off the paper reports: RMSD minimizes power but inflates")

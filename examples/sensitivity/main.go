@@ -2,49 +2,59 @@
 // at a time — virtual channels, buffers per VC, packet size, mesh size —
 // and verify that the DMSD-over-RMSD trade-off conclusion survives every
 // variation: RMSD always saves more power, DMSD always has (much) lower
-// delay.
+// delay. Each variant is one option applied on top of the baseline
+// scenario of the public nocsim API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/noc"
+	"repro/nocsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	type variant struct {
-		label  string
-		mutate func(*noc.Config)
+		label string
+		opt   nocsim.Option
 	}
 	variants := []variant{
-		{"baseline (8 VC, 4 buf, 20 flits, 5x5)", func(c *noc.Config) {}},
-		{"2 VCs", func(c *noc.Config) { c.VCs = 2 }},
-		{"4 VCs", func(c *noc.Config) { c.VCs = 4 }},
-		{"8 buffers/VC", func(c *noc.Config) { c.BufDepth = 8 }},
-		{"10-flit packets", func(c *noc.Config) { c.PacketSize = 10 }},
-		{"4x4 mesh", func(c *noc.Config) { c.Width, c.Height = 4, 4 }},
+		{"baseline (8 VC, 4 buf, 20 flits, 5x5)", nocsim.WithVCs(8)},
+		{"2 VCs", nocsim.WithVCs(2)},
+		{"4 VCs", nocsim.WithVCs(4)},
+		{"8 buffers/VC", nocsim.WithBuffers(8)},
+		{"10-flit packets", nocsim.WithPacketSize(10)},
+		{"4x4 mesh", nocsim.WithMesh(4, 4)},
 	}
 
 	fmt.Println("variant                                  sat    RMSD-vs-DMSD: power  delay")
 	ok := true
 	for _, v := range variants {
-		s := core.Scenario{Noc: noc.DefaultConfig(), Pattern: "uniform", Quick: true}
-		v.mutate(&s.Noc)
-		cal, err := core.Calibrate(s)
+		s, err := nocsim.New(
+			nocsim.WithPattern("uniform"),
+			nocsim.WithQuick(),
+			v.opt,
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rate := 0.5 * cal.SaturationRate
-		cmp, err := core.ComparePolicies(s, []float64{rate}, []core.PolicyKind{core.RMSD, core.DMSD}, cal)
+		cal, err := nocsim.Calibrate(ctx, s)
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := cmp.Sweeps[core.RMSD].Points[0].Result
-		d := cmp.Sweeps[core.DMSD].Points[0].Result
+		results, err := nocsim.Sweep(ctx, nocsim.Grid{
+			Base:     s,
+			Loads:    []float64{0.5 * cal.SaturationRate},
+			Policies: []nocsim.PolicyKind{nocsim.RMSD, nocsim.DMSD},
+		}, nocsim.WithCalibration(cal))
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, d := results[0], results[1]
 		powAdv := d.AvgPowerMW / r.AvgPowerMW
 		delayPen := r.AvgDelayNs / d.AvgDelayNs
 		fmt.Printf("%-40s %.3f  %17.2fx  %5.2fx\n", v.label, cal.SaturationRate, powAdv, delayPen)

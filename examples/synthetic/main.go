@@ -2,41 +2,44 @@
 // DVFS policies across the four synthetic patterns — tornado,
 // bit-complement, transpose and neighbor — at half the per-pattern
 // saturation rate, and report the per-pattern power savings and delay
-// penalties.
+// penalties. Everything runs through the public nocsim API.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/noc"
-	"repro/internal/traffic"
+	"repro/nocsim"
 )
 
 func main() {
 	log.SetFlags(0)
+	ctx := context.Background()
 
 	fmt.Println("pattern      sat     No-DVFS          RMSD             DMSD")
 	fmt.Println("                     mW     ns        mW     ns        mW     ns")
-	for _, pattern := range traffic.PaperPatterns() {
-		s := core.Scenario{
-			Noc:     noc.DefaultConfig(),
-			Pattern: pattern,
-			Quick:   true,
-		}
-		cal, err := core.Calibrate(s)
+	for _, pattern := range nocsim.PaperPatterns() {
+		s, err := nocsim.New(
+			nocsim.WithPattern(pattern),
+			nocsim.WithQuick(),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rate := 0.5 * cal.SaturationRate
-		cmp, err := core.ComparePolicies(s, []float64{rate}, core.AllPolicies(), cal)
+		cal, err := nocsim.Calibrate(ctx, s)
 		if err != nil {
 			log.Fatal(err)
 		}
-		n := cmp.Sweeps[core.NoDVFS].Points[0].Result
-		r := cmp.Sweeps[core.RMSD].Points[0].Result
-		d := cmp.Sweeps[core.DMSD].Points[0].Result
+		results, err := nocsim.Sweep(ctx, nocsim.Grid{
+			Base:     s,
+			Loads:    []float64{0.5 * cal.SaturationRate},
+			Policies: nocsim.AllPolicies(),
+		}, nocsim.WithCalibration(cal))
+		if err != nil {
+			log.Fatal(err)
+		}
+		n, r, d := results[0], results[1], results[2]
 		fmt.Printf("%-11s  %.3f  %6.1f %6.0f   %6.1f %6.0f   %6.1f %6.0f\n",
 			pattern, cal.SaturationRate,
 			n.AvgPowerMW, n.AvgDelayNs,

@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -21,7 +22,7 @@ func TestEndToEndPipelineQuick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	bundle, err := sweep.BaselineBundle(sweep.Options{Quick: true, Points: 6, Seed: 1})
+	bundle, err := sweep.BaselineBundle(context.Background(), sweep.Options{Quick: true, Points: 6, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,13 +92,13 @@ func TestSimulatorAgreesWithQueueingModelOnShape(t *testing.T) {
 
 	// Simulation: delays at ~0.5 λmin, λmin, and 2 λmin.
 	s := core.Scenario{Noc: noc.DefaultConfig(), Pattern: "uniform", Quick: true}
-	cal, err := core.Calibrate(s)
+	cal, err := core.Calibrate(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	lmin := cal.LambdaMax / 3
 	delay := func(rate float64) float64 {
-		res, err := core.RunOne(s, core.RMSD, rate, cal)
+		res, err := core.RunOne(context.Background(), s, core.RMSD, rate, cal)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +123,7 @@ func TestPacketLogThroughCoreScenario(t *testing.T) {
 		Quick:     true,
 		PacketLog: plog,
 	}
-	res, err := core.RunOne(s, core.NoDVFS, 0.2, core.Calibration{SaturationRate: 0.9, LambdaMax: 0.8, TargetDelayNs: 100})
+	res, err := core.RunOne(context.Background(), s, core.NoDVFS, 0.2, core.Calibration{SaturationRate: 0.9, LambdaMax: 0.8, TargetDelayNs: 100})
 	if err != nil {
 		t.Fatal(err)
 	}

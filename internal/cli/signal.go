@@ -1,0 +1,25 @@
+// Package cli holds the small plumbing shared by the command
+// front-ends; the commands' substance lives in the public nocsim API
+// and the internal sweep/report generators.
+package cli
+
+import (
+	"context"
+	"os"
+	"os/signal"
+)
+
+// SignalContext returns a context cancelled by the first interrupt
+// (Ctrl-C). The cancellation reaches the simulation engine loop, so
+// in-flight runs abort promptly. After the first interrupt the default
+// signal disposition is restored, so a second interrupt kills a stalled
+// process the usual way. The returned stop function releases the signal
+// handler; defer it in main.
+func SignalContext() (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	return ctx, stop
+}

@@ -53,7 +53,11 @@ type Scenario struct {
 	FNode float64
 	// Range is the DVFS actuation range (default 333 MHz – 1 GHz).
 	Range dvfs.Range
-	// Seed makes runs reproducible.
+	// Seed is the root seed that makes runs reproducible. ComparePolicies
+	// derives one independent RNG stream per grid point from it through
+	// exp.Seed, so replications and variance analysis across points see
+	// uncorrelated samples; single runs and the saturation search use the
+	// root seed directly.
 	Seed int64
 
 	// Quick shrinks warmup/measurement windows roughly 4x for smoke tests
@@ -120,22 +124,23 @@ func (s *Scenario) validate() error {
 	return s.Noc.Validate()
 }
 
-// injector builds the scenario's traffic source at the given load: an
-// injection rate for synthetic patterns, a relative speed for apps.
-func (s *Scenario) injector(load float64) (*traffic.Injector, error) {
+// injector builds the scenario's traffic source at the given load and
+// RNG seed: an injection rate for synthetic patterns, a relative speed
+// for apps.
+func (s *Scenario) injector(load float64, seed int64) (*traffic.Injector, error) {
 	if s.App != nil {
-		return s.App.Injector(s.Noc, load, s.PeakRate, s.Seed)
+		return s.App.Injector(s.Noc, load, s.PeakRate, seed)
 	}
 	p, err := traffic.ByName(s.Pattern, s.Noc)
 	if err != nil {
 		return nil, err
 	}
-	return traffic.NewInjector(s.Noc, p, load, s.Seed)
+	return traffic.NewInjector(s.Noc, p, load, seed)
 }
 
-// simParams assembles sim.Params for one run.
-func (s *Scenario) simParams(load float64, pol dvfs.Policy, adaptive bool) (sim.Params, error) {
-	inj, err := s.injector(load)
+// simParams assembles sim.Params for one run seeded with seed.
+func (s *Scenario) simParams(load float64, pol dvfs.Policy, adaptive bool, seed int64) (sim.Params, error) {
+	inj, err := s.injector(load, seed)
 	if err != nil {
 		return sim.Params{}, err
 	}
@@ -169,8 +174,11 @@ func (s *Scenario) simParams(load float64, pol dvfs.Policy, adaptive bool) (sim.
 // channel-load capacity and refines to ~2% relative precision with a
 // fixed three-probe quarter-section per round, so each round's probes run
 // concurrently on the exp engine while the probe layout — and hence the
-// returned rate — stays identical for every worker count.
-func FindSaturation(s Scenario) (float64, error) {
+// returned rate — stays identical for every worker count. When the
+// capacity bound proves optimistic, the bracket-expansion rungs are also
+// probed concurrently (after the first rung misses) with the same fixed
+// layout. Cancelling ctx aborts the in-flight simulations promptly.
+func FindSaturation(ctx context.Context, s Scenario) (float64, error) {
 	s.setDefaults()
 	if err := s.validate(); err != nil {
 		return 0, err
@@ -193,15 +201,15 @@ func FindSaturation(s Scenario) (float64, error) {
 			}
 		}
 	}
-	saturatedAt := func(rate float64) (bool, error) {
+	saturatedAt := func(ctx context.Context, rate float64) (bool, error) {
 		pol := dvfs.NewNoDVFS(s.FNode)
-		p, err := s.simParams(rate, pol, false)
+		p, err := s.simParams(rate, pol, false, s.Seed)
 		if err != nil {
 			return false, err
 		}
 		p.Warmup = 8000
 		p.Measure = 25000
-		res, err := sim.Run(p)
+		res, err := sim.RunContext(ctx, p)
 		if err != nil {
 			return false, err
 		}
@@ -215,22 +223,49 @@ func FindSaturation(s Scenario) (float64, error) {
 	}
 	lo := 0.0
 	// Ensure hi really saturates; expand if the capacity bound was
-	// optimistic for this router configuration.
-	for i := 0; i < 4; i++ {
-		sat, err := saturatedAt(hi)
-		if err != nil {
-			return 0, err
-		}
-		if sat {
-			break
-		}
+	// optimistic for this router configuration. The first rung is probed
+	// alone — for capacity-derived brackets it almost always saturates and
+	// the expansion ends there — and only when it misses are the remaining
+	// rungs of the fixed ×1.3 ladder probed concurrently. The ladder
+	// layout does not depend on probe outcomes, so the selected bracket —
+	// and hence the returned rate — is identical to the sequential
+	// expansion for every worker count.
+	sat0, err := saturatedAt(ctx, hi)
+	if err != nil {
+		return 0, err
+	}
+	if !sat0 {
 		lo = hi
 		if hi >= maxLoad {
 			return maxLoad, nil // injection-port-limited, never saturates
 		}
-		hi *= 1.3
-		if hi > maxLoad {
-			hi = maxLoad
+		rungs := []float64{min(hi*1.3, maxLoad)}
+		for len(rungs) < 3 && rungs[len(rungs)-1] < maxLoad {
+			rungs = append(rungs, min(rungs[len(rungs)-1]*1.3, maxLoad))
+		}
+		sats, err := exp.Map(ctx, s.workers(), len(rungs),
+			func(ctx context.Context, i int) (bool, error) {
+				return saturatedAt(ctx, rungs[i])
+			})
+		if err != nil {
+			return 0, err
+		}
+		found := false
+		for i, sat := range sats {
+			if sat {
+				hi = rungs[i]
+				found = true
+				break
+			}
+			lo = rungs[i]
+		}
+		if !found {
+			if top := rungs[len(rungs)-1]; top >= maxLoad {
+				return maxLoad, nil // injection-port-limited, never saturates
+			}
+			// All probed rungs sustain the load: refine inside the next,
+			// unprobed rung, exactly as the sequential expansion did.
+			hi = min(lo*1.3, maxLoad)
 		}
 	}
 	// Quarter-section refinement: three interior probes shrink the bracket
@@ -245,9 +280,9 @@ func FindSaturation(s Scenario) (float64, error) {
 			lo + 0.50*(hi-lo),
 			lo + 0.75*(hi-lo),
 		}
-		sats, err := exp.Map(context.Background(), s.workers(), len(probes),
-			func(_ context.Context, i int) (bool, error) {
-				return saturatedAt(probes[i])
+		sats, err := exp.Map(ctx, s.workers(), len(probes),
+			func(ctx context.Context, i int) (bool, error) {
+				return saturatedAt(ctx, probes[i])
 			})
 		if err != nil {
 			return 0, err
@@ -275,9 +310,9 @@ func FindSaturation(s Scenario) (float64, error) {
 // the delay the network exhibits at λmax under full frequency (which is
 // what RMSD delivers throughout its scaling range — Sec. IV sets the
 // target to "the value of RMSD at injection rate λmax").
-func Calibrate(s Scenario) (Calibration, error) {
+func Calibrate(ctx context.Context, s Scenario) (Calibration, error) {
 	s.setDefaults()
-	satLoad, err := FindSaturation(s)
+	satLoad, err := FindSaturation(ctx, s)
 	if err != nil {
 		return Calibration{}, err
 	}
@@ -285,17 +320,17 @@ func Calibrate(s Scenario) (Calibration, error) {
 	// λmax is a *network rate* (flits per node per cycle): for synthetic
 	// patterns it equals the load; for apps it is the mean per-node rate
 	// the injector offers at the near-saturation speed.
-	inj, err := s.injector(loadStar)
+	inj, err := s.injector(loadStar, s.Seed)
 	if err != nil {
 		return Calibration{}, err
 	}
 	lmax := inj.MeanRate()
 	pol := dvfs.NewNoDVFS(s.FNode)
-	p, err := s.simParams(loadStar, pol, false)
+	p, err := s.simParams(loadStar, pol, false, s.Seed)
 	if err != nil {
 		return Calibration{}, err
 	}
-	res, err := sim.Run(p)
+	res, err := sim.RunContext(ctx, p)
 	if err != nil {
 		return Calibration{}, err
 	}
@@ -352,8 +387,12 @@ type Comparison struct {
 // The memoryless policies (No-DVFS, RMSD: Reset restores their full
 // initial state) run one point per job with a fresh controller, so every
 // point is independent; the DMSD warm-start chain stays one sequential
-// job. Results are therefore byte-identical to serial execution.
-func ComparePolicies(s Scenario, loads []float64, kinds []PolicyKind, cal Calibration) (Comparison, error) {
+// job. Every (policy, load) point owns an independent RNG stream derived
+// from the scenario seed and the point's position in the kinds × loads
+// grid through exp.Seed, so replication samples across points are
+// uncorrelated. Results are byte-identical to serial execution for any
+// worker count; cancelling ctx aborts in-flight points promptly.
+func ComparePolicies(ctx context.Context, s Scenario, loads []float64, kinds []PolicyKind, cal Calibration) (Comparison, error) {
 	s.setDefaults()
 	if err := s.validate(); err != nil {
 		return Comparison{}, err
@@ -366,29 +405,33 @@ func ComparePolicies(s Scenario, loads []float64, kinds []PolicyKind, cal Calibr
 	}
 	if cal == (Calibration{}) {
 		var err error
-		cal, err = Calibrate(s)
+		cal, err = Calibrate(ctx, s)
 		if err != nil {
 			return Comparison{}, err
 		}
 	}
 	// One job per (policy, load) point, except DMSD whose points chain
-	// through WarmStart and form a single job.
+	// through WarmStart and form a single job. Each job remembers the base
+	// index of its first point in the flat kinds × loads grid, so the
+	// per-point seed stream depends only on the grid position — never on
+	// how the points were chunked into jobs.
 	type job struct {
 		kind  PolicyKind
+		base  int // index of loads[0] in the flat kinds × loads grid
 		loads []float64
 	}
 	var jobs []job
-	for _, kind := range kinds {
+	for ki, kind := range kinds {
 		if kind == DMSD {
-			jobs = append(jobs, job{kind, loads})
+			jobs = append(jobs, job{kind, ki * len(loads), loads})
 			continue
 		}
 		for i := range loads {
-			jobs = append(jobs, job{kind, loads[i : i+1]})
+			jobs = append(jobs, job{kind, ki*len(loads) + i, loads[i : i+1]})
 		}
 	}
-	curves, err := exp.Map(context.Background(), s.workers(), len(jobs),
-		func(_ context.Context, ji int) ([]Point, error) {
+	curves, err := exp.Map(ctx, s.workers(), len(jobs),
+		func(ctx context.Context, ji int) ([]Point, error) {
 			j := jobs[ji]
 			pol, err := buildPolicy(j.kind, &s, cal)
 			if err != nil {
@@ -399,11 +442,11 @@ func ComparePolicies(s Scenario, loads []float64, kinds []PolicyKind, cal Calibr
 				if dm, ok := pol.(*dvfs.DMSD); ok && i > 0 {
 					dm.WarmStart(dm.Freq())
 				}
-				p, err := s.simParams(load, pol, j.kind == DMSD)
+				p, err := s.simParams(load, pol, j.kind == DMSD, exp.Seed(s.Seed, j.base+i))
 				if err != nil {
 					return nil, err
 				}
-				res, err := sim.Run(p)
+				res, err := sim.RunContext(ctx, p)
 				if err != nil {
 					return nil, err
 				}
@@ -427,15 +470,16 @@ func ComparePolicies(s Scenario, loads []float64, kinds []PolicyKind, cal Calibr
 }
 
 // RunOne executes a single (policy, load) point with automatic policy
-// construction; a convenience for examples and spot checks.
-func RunOne(s Scenario, kind PolicyKind, load float64, cal Calibration) (sim.Result, error) {
+// construction; a convenience for examples and spot checks. The run uses
+// the scenario's root seed directly and observes ctx.
+func RunOne(ctx context.Context, s Scenario, kind PolicyKind, load float64, cal Calibration) (sim.Result, error) {
 	s.setDefaults()
 	if err := s.validate(); err != nil {
 		return sim.Result{}, err
 	}
 	if cal == (Calibration{}) && kind != NoDVFS {
 		var err error
-		cal, err = Calibrate(s)
+		cal, err = Calibrate(ctx, s)
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -444,11 +488,11 @@ func RunOne(s Scenario, kind PolicyKind, load float64, cal Calibration) (sim.Res
 	if err != nil {
 		return sim.Result{}, err
 	}
-	p, err := s.simParams(load, pol, kind == DMSD)
+	p, err := s.simParams(load, pol, kind == DMSD, s.Seed)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.Run(p)
+	return sim.RunContext(ctx, p)
 }
 
 // LoadGrid returns n evenly spaced loads in (0, max], excluding zero.

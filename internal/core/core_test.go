@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -59,7 +60,7 @@ func TestFindSaturationBaseline(t *testing.T) {
 	// The paper reports saturation ≈0.42 for the baseline configuration
 	// (Sec. III). Accept a band around it: exact value depends on
 	// allocator details.
-	sat, err := FindSaturation(quickScenario())
+	sat, err := FindSaturation(context.Background(), quickScenario())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,12 +74,12 @@ func TestFindSaturationFewerVCsIsLower(t *testing.T) {
 		t.Skip("short mode: saturation search runs tens of simulations")
 	}
 	s := quickScenario()
-	sat8, err := FindSaturation(s)
+	sat8, err := FindSaturation(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Noc.VCs = 2
-	sat2, err := FindSaturation(s)
+	sat2, err := FindSaturation(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestCalibrate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode: calibration runs a saturation search")
 	}
-	cal, err := Calibrate(quickScenario())
+	cal, err := Calibrate(context.Background(), quickScenario())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestCalibrate(t *testing.T) {
 }
 
 func TestRunOneNoDVFS(t *testing.T) {
-	res, err := RunOne(quickScenario(), NoDVFS, 0.15, Calibration{})
+	res, err := RunOne(context.Background(), quickScenario(), NoDVFS, 0.15, Calibration{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestRunOneNoDVFS(t *testing.T) {
 }
 
 func TestRunOneUnknownPolicy(t *testing.T) {
-	_, err := RunOne(quickScenario(), PolicyKind("magic"), 0.1, Calibration{SaturationRate: 0.4, LambdaMax: 0.36, TargetDelayNs: 150})
+	_, err := RunOne(context.Background(), quickScenario(), PolicyKind("magic"), 0.1, Calibration{SaturationRate: 0.4, LambdaMax: 0.36, TargetDelayNs: 150})
 	if err == nil {
 		t.Error("accepted unknown policy")
 	}
@@ -127,7 +128,7 @@ func TestComparePoliciesOrderings(t *testing.T) {
 	// keep the test fast and deterministic. Verifies the paper's headline
 	// orderings: P(RMSD) < P(DMSD) < P(NoDVFS); D(RMSD) > D(DMSD).
 	cal := Calibration{SaturationRate: 0.42, LambdaMax: 0.378, TargetDelayNs: 150}
-	cmp, err := ComparePolicies(quickScenario(), []float64{0.2}, AllPolicies(), cal)
+	cmp, err := ComparePolicies(context.Background(), quickScenario(), []float64{0.2}, AllPolicies(), cal)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestComparePoliciesOrderings(t *testing.T) {
 }
 
 func TestComparePoliciesEmptyGrid(t *testing.T) {
-	if _, err := ComparePolicies(quickScenario(), nil, nil, Calibration{SaturationRate: 0.4, LambdaMax: 0.36, TargetDelayNs: 150}); err == nil {
+	if _, err := ComparePolicies(context.Background(), quickScenario(), nil, nil, Calibration{SaturationRate: 0.4, LambdaMax: 0.36, TargetDelayNs: 150}); err == nil {
 		t.Error("accepted empty load grid")
 	}
 }
@@ -161,7 +162,7 @@ func TestComparePoliciesAppScenario(t *testing.T) {
 		Quick: true,
 	}
 	cal := Calibration{SaturationRate: 0.5, LambdaMax: 0.45, TargetDelayNs: 120}
-	cmp, err := ComparePolicies(s, []float64{0.5}, []PolicyKind{NoDVFS, RMSD}, cal)
+	cmp, err := ComparePolicies(context.Background(), s, []float64{0.5}, []PolicyKind{NoDVFS, RMSD}, cal)
 	if err != nil {
 		t.Fatal(err)
 	}

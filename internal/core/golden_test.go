@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"runtime"
 	"testing"
@@ -29,7 +30,7 @@ func TestGoldenParallelMatchesSerial(t *testing.T) {
 	run := func(workers int) map[PolicyKind]Sweep {
 		s := quickScenario()
 		s.Workers = workers
-		cmp, err := ComparePolicies(s, grid, AllPolicies(), goldenCal())
+		cmp, err := ComparePolicies(context.Background(), s, grid, AllPolicies(), goldenCal())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,12 +57,12 @@ func TestGoldenFindSaturationParallelMatchesSerial(t *testing.T) {
 	}
 	s := quickScenario()
 	s.Workers = 1
-	serial, err := FindSaturation(s)
+	serial, err := FindSaturation(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
 	s.Workers = 8
-	parallel, err := FindSaturation(s)
+	parallel, err := FindSaturation(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestParallelSweepSpeedup(t *testing.T) {
 		s := quickScenario()
 		s.Workers = workers
 		start := time.Now()
-		if _, err := ComparePolicies(s, grid, AllPolicies(), goldenCal()); err != nil {
+		if _, err := ComparePolicies(context.Background(), s, grid, AllPolicies(), goldenCal()); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)
@@ -112,7 +113,7 @@ func benchCompare(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		s := quickScenario()
 		s.Workers = workers
-		if _, err := ComparePolicies(s, grid, AllPolicies(), goldenCal()); err != nil {
+		if _, err := ComparePolicies(context.Background(), s, grid, AllPolicies(), goldenCal()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -24,10 +24,13 @@
 // # Cancellation and failure
 //
 // Run derives a child context and cancels it on the first point error (or
-// panic). In-flight points finish — simulations do not observe the
-// context — but no new points start. Errors are reported as *PointError
-// values, joined in index order; a panicking point is captured with its
-// stack instead of taking down the process.
+// panic). No new points start, and in-flight points that observe the
+// context (sim.RunContext does, inside the engine loop) abort promptly.
+// Errors are reported as *PointError values, joined in index order; a
+// panicking point is captured with its stack instead of taking down the
+// process. Cancellation casualties — points that failed only because an
+// earlier point's error tore down the grid — are dropped from the joined
+// error so the root cause stays visible.
 package exp
 
 import (
@@ -93,11 +96,10 @@ func (e *PointError) Unwrap() error { return e.Err }
 // SplitMix64 finalizer so neighbouring indices map to statistically
 // independent streams. The derivation is pure: the same (root, index)
 // always yields the same seed, which is what keeps parallel execution
-// byte-identical to serial execution. The paper sweeps deliberately do
-// not use it yet — they reuse the scenario seed at every point, matching
-// the original serial harness number for number (see ROADMAP) — but any
-// grid that wants independent per-point streams (replications, variance
-// estimation) should derive them here.
+// byte-identical to serial execution. The core sweeps
+// (core.ComparePolicies) and the public nocsim.Grid derive their
+// per-point streams here, so replications and variance analysis across
+// points see uncorrelated samples; any new grid should do the same.
 func Seed(root int64, index int) int64 {
 	z := uint64(root) + 0x9E3779B97F4A7C15*(uint64(index)+1)
 	z ^= z >> 30
@@ -193,11 +195,24 @@ func Run[T any](ctx context.Context, r Runner, n int, fn func(ctx context.Contex
 		wg.Wait()
 	}
 
-	var all []error
+	// Partition failures: points that observed the cancellation of the
+	// grid (in-flight sims abort with the context error once any point
+	// fails) are casualties, not causes. When a genuine error exists,
+	// report only the genuine ones; when every failure is a cancellation
+	// (the caller's ctx was cancelled), keep them so errors.Is still
+	// matches ctx.Err().
+	var all, cancelled []error
 	for _, e := range errs {
-		if e != nil {
+		switch {
+		case e == nil:
+		case errors.Is(e, context.Canceled) || errors.Is(e, context.DeadlineExceeded):
+			cancelled = append(cancelled, e)
+		default:
 			all = append(all, e)
 		}
+	}
+	if len(all) == 0 {
+		all = cancelled
 	}
 	if len(all) == 0 && ctx.Err() != nil {
 		all = append(all, ctx.Err())

@@ -93,6 +93,32 @@ func TestRunErrorCancelsAndReports(t *testing.T) {
 	}
 }
 
+// TestRunRealErrorNotBuriedByCancellations: when one point genuinely
+// fails, in-flight points that abort with the grid's cancellation must
+// not appear in the joined error — the root cause stays visible.
+func TestRunRealErrorNotBuriedByCancellations(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 4, 12, func(ctx context.Context, i int) (int, error) {
+		if i == 1 {
+			return 0, boom
+		}
+		// Context-observing points (like sim.RunContext) report the
+		// cancellation the failing point triggered.
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+			return i, nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the real failure", err)
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Errorf("joined error %q includes cancellation casualties", err)
+	}
+}
+
 func TestRunPanicCapture(t *testing.T) {
 	res, err := Map(context.Background(), 4, 10, func(_ context.Context, i int) (int, error) {
 		if i == 5 {

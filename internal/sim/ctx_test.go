@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dvfs"
+	"repro/internal/noc"
+	"repro/internal/traffic"
+	"repro/internal/volt"
+)
+
+// ctxParams returns engine parameters for the cancellation tests: a
+// loaded 8x8 mesh with long windows, several seconds of serial work.
+func ctxParams(t *testing.T) Params {
+	t.Helper()
+	cfg := noc.Config{Width: 8, Height: 8, VCs: 8, BufDepth: 4, PacketSize: 20, Routing: noc.RoutingXY}
+	inj, err := traffic.NewInjector(cfg, traffic.NewUniform(cfg), 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Params{
+		Noc:      cfg,
+		Injector: inj,
+		Policy:   dvfs.NewNoDVFS(1e9),
+		VF:       volt.New(),
+		Measure:  2_000_000, // far longer than any test will let it run
+	}
+}
+
+func TestRunContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, ctxParams(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunContextMidRunCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(50*time.Millisecond, cancel)
+	start := time.Now()
+	_, err := RunContext(ctx, ctxParams(t))
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The engine checks the context every ctxCheckCycles network cycles;
+	// the return must come promptly after the cancel, not after the
+	// configured 2M-node-cycle measurement window.
+	if elapsed > time.Second {
+		t.Errorf("mid-run cancel returned after %v", elapsed)
+	}
+}
+
+func TestRunContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, ctxParams(t))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunMatchesRunContextBackground: the convenience wrapper and an
+// uncancelled context produce identical results.
+func TestRunMatchesRunContextBackground(t *testing.T) {
+	p := ctxParams(t)
+	p.Warmup = 2000
+	p.Measure = 5000
+	a, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rebuild the injector: Params carries live RNG state.
+	p2 := ctxParams(t)
+	p2.Warmup = 2000
+	p2.Measure = 5000
+	b, err := RunContext(context.Background(), p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("Run and RunContext(Background) differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -177,8 +178,28 @@ func (p *Params) validate() error {
 	return errors.Join(errs...)
 }
 
-// Run executes one simulation and returns its measured Result.
+// Run executes one simulation and returns its measured Result. It is
+// RunContext with a background context: the run cannot be cancelled.
 func Run(p Params) (Result, error) {
+	return RunContext(context.Background(), p)
+}
+
+// ctxCheckCycles is how many network cycles elapse between context
+// checks inside the engine loop. At the slowest network clock (333 MHz)
+// 1024 cycles are ~3 µs of simulated time and far less wall time, so
+// cancellation latency stays well under a millisecond while the check
+// cost is amortized to noise.
+const ctxCheckCycles = 1024
+
+// RunContext executes one simulation under ctx and returns its measured
+// Result. The engine polls the context every few thousand network cycles:
+// when ctx is cancelled mid-run the simulation stops promptly, discards
+// its partial measurement, and returns ctx.Err(). A context that is
+// already cancelled on entry returns before the network is even built.
+func RunContext(ctx context.Context, p Params) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	p.setDefaults()
 	if err := p.validate(); err != nil {
 		return Result{}, err
@@ -204,7 +225,9 @@ func Run(p Params) (Result, error) {
 		f:     p.Policy.Freq(),
 	}
 	eng.v = p.VF.VoltageFor(eng.f)
-	eng.run()
+	if err := eng.run(ctx); err != nil {
+		return Result{}, err
+	}
 	return eng.result(), nil
 }
 
@@ -252,7 +275,7 @@ type engine struct {
 	trace []Sample
 }
 
-func (e *engine) run() {
+func (e *engine) run(ctx context.Context) error {
 	p := &e.p
 	e.delayH, _ = stats.NewHistogram(0, 5000, 1000) // ns bins for P99
 	e.net.OnArrive = func(pk *noc.Packet, cycle int64) {
@@ -271,7 +294,19 @@ func (e *engine) run() {
 	nextCtrl := p.ControlPeriod
 	p.Injector.WindowReset()
 
+	done := ctx.Done()
+	ctxCheck := int64(ctxCheckCycles)
 	for !e.aborted && (!e.measuring || e.nodeCycles < e.measStartNode+p.Measure) {
+		if done != nil {
+			if ctxCheck--; ctxCheck <= 0 {
+				ctxCheck = ctxCheckCycles
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+			}
+		}
 		dtNs := 1e9 / e.f
 		e.nowNs += dtNs
 
@@ -308,6 +343,7 @@ func (e *engine) run() {
 	if float64(e.net.SourceBacklog()) > p.SatBacklogPerNode*float64(p.Noc.Nodes()) {
 		e.saturated = true
 	}
+	return nil
 }
 
 // warmupDone reports whether measurement may begin at the current node

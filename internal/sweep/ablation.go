@@ -35,9 +35,9 @@ import (
 
 // ablationScenario returns the baseline with the given load fraction of
 // saturation resolved against a fresh calibration.
-func ablationBase(o Options) (core.Scenario, core.Calibration, error) {
+func ablationBase(ctx context.Context, o Options) (core.Scenario, core.Calibration, error) {
 	s := o.baseline()
-	cal, err := core.Calibrate(s)
+	cal, err := core.Calibrate(ctx, s)
 	return s, cal, err
 }
 
@@ -45,9 +45,9 @@ func ablationBase(o Options) (core.Scenario, core.Calibration, error) {
 // the steady-state delay error and power at a fixed moderate load. The
 // paper's claim holds when the tracked delay stays near the target across
 // periods spanning two orders of magnitude.
-func AblationControlPeriod(o Options) ([]Table, error) {
+func AblationControlPeriod(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
-	s, cal, err := ablationBase(o)
+	s, cal, err := ablationBase(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -63,8 +63,8 @@ func AblationControlPeriod(o Options) ([]Table, error) {
 	if o.Quick {
 		periods = []int64{2000, 10000, 50000}
 	}
-	rows, err := exp.Map(context.Background(), o.Workers, len(periods),
-		func(_ context.Context, i int) ([]float64, error) {
+	rows, err := exp.Map(ctx, o.Workers, len(periods),
+		func(ctx context.Context, i int) ([]float64, error) {
 			period := periods[i]
 			pol, err := dvfs.NewDMSD(cal.TargetDelayNs, dvfs.DefaultRange())
 			if err != nil {
@@ -77,7 +77,7 @@ func AblationControlPeriod(o Options) ([]Table, error) {
 			}
 			p.ControlPeriod = period
 			p.AdaptiveWarmup = true
-			res, err := sim.Run(p)
+			res, err := sim.RunContext(ctx, p)
 			if err != nil {
 				return nil, err
 			}
@@ -96,9 +96,9 @@ func AblationControlPeriod(o Options) ([]Table, error) {
 // AblationGains sweeps the PI gains around the published values at a
 // fixed load, reporting settling behaviour (delay error) and the average
 // frequency. Unstable gain choices show up as large residual errors.
-func AblationGains(o Options) ([]Table, error) {
+func AblationGains(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
-	s, cal, err := ablationBase(o)
+	s, cal, err := ablationBase(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -120,8 +120,8 @@ func AblationGains(o Options) ([]Table, error) {
 	if o.Quick {
 		gains = gains[1:4]
 	}
-	rows, err := exp.Map(context.Background(), o.Workers, len(gains),
-		func(_ context.Context, i int) ([]float64, error) {
+	rows, err := exp.Map(ctx, o.Workers, len(gains),
+		func(ctx context.Context, i int) ([]float64, error) {
 			g := gains[i]
 			pol, err := dvfs.NewDMSDGains(cal.TargetDelayNs, dvfs.DefaultRange(), g.ki, g.kp)
 			if err != nil {
@@ -133,7 +133,7 @@ func AblationGains(o Options) ([]Table, error) {
 				return nil, err
 			}
 			p.AdaptiveWarmup = true
-			res, err := sim.Run(p)
+			res, err := sim.RunContext(ctx, p)
 			if err != nil {
 				return nil, err
 			}
@@ -152,9 +152,9 @@ func AblationGains(o Options) ([]Table, error) {
 // AblationDiscreteLevels compares continuous actuation against discrete
 // frequency tables of a few sizes for both policies (paper footnote 2:
 // "the results remain valid in case of discrete values").
-func AblationDiscreteLevels(o Options) ([]Table, error) {
+func AblationDiscreteLevels(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
-	s, cal, err := ablationBase(o)
+	s, cal, err := ablationBase(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -170,8 +170,8 @@ func AblationDiscreteLevels(o Options) ([]Table, error) {
 	if o.Quick {
 		counts = []int{0, 4}
 	}
-	rows, err := exp.Map(context.Background(), o.Workers, len(counts),
-		func(_ context.Context, i int) ([]float64, error) {
+	rows, err := exp.Map(ctx, o.Workers, len(counts),
+		func(ctx context.Context, i int) ([]float64, error) {
 			n := counts[i]
 			rng := dvfs.DefaultRange()
 			if n > 0 {
@@ -198,7 +198,7 @@ func AblationDiscreteLevels(o Options) ([]Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			resR, err := sim.Run(pr)
+			resR, err := sim.RunContext(ctx, pr)
 			if err != nil {
 				return nil, err
 			}
@@ -207,7 +207,7 @@ func AblationDiscreteLevels(o Options) ([]Table, error) {
 				return nil, err
 			}
 			pd.AdaptiveWarmup = true
-			resD, err := sim.Run(pd)
+			resD, err := sim.RunContext(ctx, pd)
 			if err != nil {
 				return nil, err
 			}
@@ -225,7 +225,7 @@ func AblationDiscreteLevels(o Options) ([]Table, error) {
 // AblationRouting repeats the three-policy comparison under XY, YX and
 // O1TURN routing at half saturation, checking the conclusions do not hang
 // on the routing algorithm.
-func AblationRouting(o Options) ([]Table, error) {
+func AblationRouting(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
 	t := Table{
 		ID:      "abl_routing",
@@ -234,17 +234,17 @@ func AblationRouting(o Options) ([]Table, error) {
 		Notes:   []string{"routing encoded as 0=xy 1=yx 2=o1turn"},
 	}
 	routings := []noc.Routing{noc.RoutingXY, noc.RoutingYX, noc.RoutingO1TURN}
-	rows, err := exp.Map(context.Background(), o.Workers, len(routings),
-		func(_ context.Context, i int) ([]float64, error) {
+	rows, err := exp.Map(ctx, o.Workers, len(routings),
+		func(ctx context.Context, i int) ([]float64, error) {
 			r := routings[i]
 			s := o.baseline()
 			s.Noc.Routing = r
-			cal, err := core.Calibrate(s)
+			cal, err := core.Calibrate(ctx, s)
 			if err != nil {
 				return nil, fmt.Errorf("routing %v: %w", r, err)
 			}
 			rate := 0.5 * cal.SaturationRate
-			cmp, err := core.ComparePolicies(s, []float64{rate}, core.AllPolicies(), cal)
+			cmp, err := core.ComparePolicies(ctx, s, []float64{rate}, core.AllPolicies(), cal)
 			if err != nil {
 				return nil, fmt.Errorf("routing %v: %w", r, err)
 			}
@@ -266,9 +266,9 @@ func AblationRouting(o Options) ([]Table, error) {
 // PowerBreakdown decomposes each policy's power at a moderate load into
 // switching, clock-tree and leakage shares, showing where the V²F scaling
 // bites.
-func PowerBreakdown(o Options) ([]Table, error) {
+func PowerBreakdown(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
-	s, cal, err := ablationBase(o)
+	s, cal, err := ablationBase(ctx, o)
 	if err != nil {
 		return nil, err
 	}
@@ -280,9 +280,9 @@ func PowerBreakdown(o Options) ([]Table, error) {
 	}
 	rate := 0.5 * cal.SaturationRate
 	kinds := core.AllPolicies()
-	rows, err := exp.Map(context.Background(), o.Workers, len(kinds),
-		func(_ context.Context, i int) ([]float64, error) {
-			res, err := core.RunOne(s, kinds[i], rate, cal)
+	rows, err := exp.Map(ctx, o.Workers, len(kinds),
+		func(ctx context.Context, i int) ([]float64, error) {
+			res, err := core.RunOne(ctx, s, kinds[i], rate, cal)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -11,7 +12,7 @@ func TestAblationControlPeriod(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	tables, err := AblationControlPeriod(ablOpts())
+	tables, err := AblationControlPeriod(context.Background(), ablOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +30,7 @@ func TestAblationGains(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	tables, err := AblationGains(ablOpts())
+	tables, err := AblationGains(context.Background(), ablOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func TestAblationDiscreteLevels(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	tables, err := AblationDiscreteLevels(ablOpts())
+	tables, err := AblationDiscreteLevels(context.Background(), ablOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestAblationRouting(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	tables, err := AblationRouting(ablOpts())
+	tables, err := AblationRouting(context.Background(), ablOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestPowerBreakdown(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	tables, err := PowerBreakdown(ablOpts())
+	tables, err := PowerBreakdown(context.Background(), ablOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -66,15 +66,15 @@ type Bundle struct {
 
 // BaselineBundle computes (once) the three-policy sweep on the baseline
 // scenario that Figs. 2, 4 and 6 all present views of.
-func BaselineBundle(o Options) (*Bundle, error) {
+func BaselineBundle(ctx context.Context, o Options) (*Bundle, error) {
 	o.setDefaults()
 	s := o.baseline()
-	cal, err := core.Calibrate(s)
+	cal, err := core.Calibrate(ctx, s)
 	if err != nil {
 		return nil, err
 	}
 	grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
-	cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+	cmp, err := core.ComparePolicies(ctx, s, grid, core.AllPolicies(), cal)
 	if err != nil {
 		return nil, err
 	}
@@ -187,20 +187,20 @@ func Fig6(b *Bundle) []Table {
 // Fig7 renders the four synthetic-pattern panels: delay and power vs
 // injection rate under tornado, bit-complement, transpose and neighbor.
 // The four panels are independent studies and run concurrently.
-func Fig7(o Options) ([]Table, error) {
+func Fig7(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
 	patterns := traffic.PaperPatterns()
-	panels, err := exp.Map(context.Background(), o.Workers, len(patterns),
-		func(_ context.Context, i int) ([]Table, error) {
+	panels, err := exp.Map(ctx, o.Workers, len(patterns),
+		func(ctx context.Context, i int) ([]Table, error) {
 			pattern := patterns[i]
 			s := o.baseline()
 			s.Pattern = pattern
-			cal, err := core.Calibrate(s)
+			cal, err := core.Calibrate(ctx, s)
 			if err != nil {
 				return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
 			}
 			grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
-			cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+			cmp, err := core.ComparePolicies(ctx, s, grid, core.AllPolicies(), cal)
 			if err != nil {
 				return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
 			}
@@ -216,7 +216,7 @@ func Fig7(o Options) ([]Table, error) {
 // number of VCs, buffers per VC, packet size, and mesh size, under uniform
 // traffic. The twelve variants are independent studies and run
 // concurrently.
-func Fig8(o Options) ([]Table, error) {
+func Fig8(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
 	type variant struct {
 		label  string
@@ -251,17 +251,17 @@ func Fig8(o Options) ([]Table, error) {
 	for _, dim := range dims {
 		flat = append(flat, dim.variants...)
 	}
-	panels, err := exp.Map(context.Background(), o.Workers, len(flat),
-		func(_ context.Context, i int) ([]Table, error) {
+	panels, err := exp.Map(ctx, o.Workers, len(flat),
+		func(ctx context.Context, i int) ([]Table, error) {
 			v := flat[i]
 			s := o.baseline()
 			v.mutate(&s.Noc)
-			cal, err := core.Calibrate(s)
+			cal, err := core.Calibrate(ctx, s)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s: %w", v.label, err)
 			}
 			grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
-			cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+			cmp, err := core.ComparePolicies(ctx, s, grid, core.AllPolicies(), cal)
 			if err != nil {
 				return nil, fmt.Errorf("fig8 %s: %w", v.label, err)
 			}
@@ -276,11 +276,11 @@ func Fig8(o Options) ([]Table, error) {
 // Fig10 renders the multimedia panels: delay and power vs application
 // speed for the H.264 encoder (4x4) and the VCE (5x5). The two workloads
 // run concurrently.
-func Fig10(o Options) ([]Table, error) {
+func Fig10(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
 	workloads := apps.Apps()
-	panels, err := exp.Map(context.Background(), o.Workers, len(workloads),
-		func(_ context.Context, i int) ([]Table, error) {
+	panels, err := exp.Map(ctx, o.Workers, len(workloads),
+		func(ctx context.Context, i int) ([]Table, error) {
 			app := workloads[i]
 			s := core.Scenario{
 				Noc:     noc.DefaultConfig(),
@@ -290,12 +290,12 @@ func Fig10(o Options) ([]Table, error) {
 				Workers: o.Workers,
 			}
 			s.Noc.Width, s.Noc.Height = app.Width, app.Height
-			cal, err := core.Calibrate(s)
+			cal, err := core.Calibrate(ctx, s)
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
 			}
 			grid := core.LoadGrid(1.0, o.Points) // speeds up to 1.0 ≡ 75 f/s
-			cmp, err := core.ComparePolicies(s, grid, core.AllPolicies(), cal)
+			cmp, err := core.ComparePolicies(ctx, s, grid, core.AllPolicies(), cal)
 			if err != nil {
 				return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
 			}
@@ -348,10 +348,10 @@ func comparisonTables(figID, label string, cmp core.Comparison) []Table {
 // PIStep renders the DMSD transient: the frequency and window-delay trace
 // of the PI loop from cold start (FMax) at a fixed load, supporting the
 // paper's stability and control-period claims (Sec. IV).
-func PIStep(o Options) ([]Table, error) {
+func PIStep(ctx context.Context, o Options) ([]Table, error) {
 	o.setDefaults()
 	s := o.baseline()
-	cal, err := core.Calibrate(s)
+	cal, err := core.Calibrate(ctx, s)
 	if err != nil {
 		return nil, err
 	}
@@ -371,7 +371,7 @@ func PIStep(o Options) ([]Table, error) {
 	if o.Quick {
 		params.Measure = 100000
 	}
-	res, err := sim.Run(params)
+	res, err := sim.RunContext(ctx, params)
 	if err != nil {
 		return nil, err
 	}

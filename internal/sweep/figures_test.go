@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -16,7 +17,7 @@ func getBundle(t *testing.T) *Bundle {
 		t.Skip("short mode")
 	}
 	if sharedBundle == nil {
-		b, err := BaselineBundle(Options{Quick: true, Points: 3})
+		b, err := BaselineBundle(context.Background(), Options{Quick: true, Points: 3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestPIStepTransient(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	tables, err := PIStep(Options{Quick: true, Points: 2})
+	tables, err := PIStep(context.Background(), Options{Quick: true, Points: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,60 @@
+// Package nocsim is the public face of the repro module: a cycle-accurate
+// mesh NoC simulator with a global DVFS domain, reproducing Casu &
+// Giaccone, "Rate-based vs Delay-based Control for DVFS in NoC" (DATE
+// 2015).
+//
+// The API is three ideas:
+//
+//   - A Scenario is one self-contained simulation job — fabric, traffic,
+//     load, policy, seed — built with functional options, validated
+//     eagerly, and JSON-round-trippable, so it doubles as a wire format.
+//   - Run executes one scenario under a context.Context that is observed
+//     all the way inside the engine loop, so runs can be cancelled
+//     promptly.
+//   - A Grid crosses a base scenario with loads × policies; Sweep fans
+//     its points across a worker pool, and Grid.Point(i) yields the
+//     self-contained scenario of any single point — the unit of work for
+//     distributing sweeps across machines.
+//
+// # Quickstart
+//
+//	s, err := nocsim.New(
+//		nocsim.WithPattern("uniform"),
+//		nocsim.WithLoad(0.2),
+//		nocsim.WithPolicy(nocsim.DMSD),
+//		nocsim.WithQuick(),
+//	)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	res, err := nocsim.Run(ctx, s)
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Printf("delay %.1f ns at %.1f mW\n", res.AvgDelayNs, res.AvgPowerMW)
+//
+// Sweeping the three policies over a load grid:
+//
+//	results, err := nocsim.Sweep(ctx, nocsim.Grid{
+//		Base:     s,
+//		Loads:    []float64{0.05, 0.1, 0.15, 0.2},
+//		Policies: nocsim.AllPolicies(),
+//	})
+//
+// # Determinism
+//
+// Every run is a pure function of its Scenario: the same scenario —
+// including one recovered from JSON — reproduces the same Metrics bit
+// for bit, for any Workers setting. Sweep derives one independent RNG
+// stream per grid point from the base seed (a SplitMix64 finalizer), so
+// replication and variance analysis across points see uncorrelated
+// samples.
+//
+// # Calibration
+//
+// The RMSD and DMSD controllers need operating points (λmax, the delay
+// setpoint). Run and Sweep derive them automatically with the paper's
+// recipe when no Calibration is attached, and record the resolved values
+// in their results; pin them with WithCalibration to skip the search —
+// in particular before shipping Grid points to remote workers.
+package nocsim

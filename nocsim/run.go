@@ -1,0 +1,119 @@
+package nocsim
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/noc"
+	"repro/internal/traffic"
+)
+
+// Run executes one simulation and returns its measured Result. The
+// context is observed all the way inside the engine loop: cancelling ctx
+// aborts an in-flight simulation promptly and returns ctx.Err(), and a
+// context that is already cancelled returns before any work starts.
+//
+// When the scenario's policy needs a calibration and none is attached,
+// Run calibrates first (a saturation search plus one reference run) and
+// records the resolved calibration in the returned Result's Scenario, so
+// repeating or distributing the run skips the search.
+func Run(ctx context.Context, s Scenario) (Result, error) {
+	start := time.Now()
+	s = s.normalized()
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if s.Calibration == nil && s.Policy != NoDVFS {
+		cal, err := Calibrate(ctx, s)
+		if err != nil {
+			return Result{}, err
+		}
+		s.Calibration = &cal
+	}
+	cs, err := s.toCore()
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := core.RunOne(ctx, cs, core.PolicyKind(s.Policy), s.Load, s.coreCal())
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Scenario: s,
+		Metrics:  metricsFrom(res),
+		Meta:     RunMeta{Seed: s.Seed, Workers: s.Workers, WallTime: time.Since(start)},
+	}, nil
+}
+
+// Calibrate runs the paper's calibration recipe for the scenario:
+// measure the saturation rate (load and policy fields are ignored), set
+// λmax 10% below it, and set the DMSD target to the full-speed delay at
+// λmax. The search fans its probe simulations across Scenario.Workers;
+// the result is identical for every worker count.
+func Calibrate(ctx context.Context, s Scenario) (Calibration, error) {
+	s = s.normalized()
+	if err := s.Validate(); err != nil {
+		return Calibration{}, err
+	}
+	cs, err := s.toCore()
+	if err != nil {
+		return Calibration{}, err
+	}
+	cal, err := core.Calibrate(ctx, cs)
+	if err != nil {
+		return Calibration{}, err
+	}
+	return Calibration{
+		SaturationRate: cal.SaturationRate,
+		LambdaMax:      cal.LambdaMax,
+		TargetDelayNs:  cal.TargetDelayNs,
+	}, nil
+}
+
+// FindSaturation measures the scenario's saturation injection rate (the
+// first stage of Calibrate) in flits per node per node cycle.
+func FindSaturation(ctx context.Context, s Scenario) (float64, error) {
+	s = s.normalized()
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	cs, err := s.toCore()
+	if err != nil {
+		return 0, err
+	}
+	return core.FindSaturation(ctx, cs)
+}
+
+// TheoreticalCapacity returns the scenario's theoretical channel-load
+// capacity in flits per node per node cycle: the injection rate at which
+// the busiest channel reaches unit load under the scenario's traffic
+// matrix. It is the analytic upper bound the measured saturation rate is
+// compared against.
+func TheoreticalCapacity(s Scenario) (float64, error) {
+	s = s.normalized()
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	cfg, err := s.Mesh.toNoc()
+	if err != nil {
+		return 0, err
+	}
+	var m [][]float64
+	if s.App != "" {
+		app, err := appByName(s.App)
+		if err != nil {
+			return 0, err
+		}
+		if m, err = app.Matrix(); err != nil {
+			return 0, err
+		}
+	} else {
+		p, err := traffic.ByName(s.Pattern, cfg)
+		if err != nil {
+			return 0, err
+		}
+		m = traffic.Matrix(p, cfg)
+	}
+	return noc.TheoreticalCapacity(cfg, m), nil
+}

@@ -1,0 +1,237 @@
+package nocsim
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// quickBase returns a small fast scenario with a pinned calibration, so
+// tests exercise single runs rather than the saturation search.
+func quickBase(t *testing.T, opts ...Option) Scenario {
+	t.Helper()
+	base := []Option{
+		WithPattern("uniform"),
+		WithLoad(0.15),
+		WithQuick(),
+		WithCalibration(Calibration{SaturationRate: 0.42, LambdaMax: 0.378, TargetDelayNs: 150}),
+	}
+	s, err := New(append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// metricsJSON renders the measured part of a result for byte-exact
+// comparison (Meta is excluded: wall time legitimately differs).
+func metricsJSON(t *testing.T, r Result) string {
+	t.Helper()
+	data, err := json.Marshal(r.Metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestRunAlreadyCancelled: a context that is cancelled before Run is
+// called must return ctx.Err() promptly, without simulating anything.
+func TestRunAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Run(ctx, quickBase(t))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("cancelled Run took %v, want prompt return", d)
+	}
+}
+
+// TestRunMidRunCancel: cancelling while the engine loop is running must
+// abort the simulation promptly with ctx.Err() and leak no goroutines.
+func TestRunMidRunCancel(t *testing.T) {
+	// Full (non-quick) windows on a loaded 8x8 mesh: several seconds of
+	// serial work, so a 100 ms cancel lands mid-run with a wide margin.
+	s, err := New(
+		WithPattern("uniform"),
+		WithMesh(8, 8),
+		WithLoad(0.3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(100*time.Millisecond, cancel)
+
+	start := time.Now()
+	_, err = Run(ctx, s)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("mid-run cancel returned after %v, want prompt return", elapsed)
+	}
+	waitForGoroutines(t, before)
+}
+
+// TestSweepMidRunCancel: cancelling a Sweep aborts its worker pool and
+// every in-flight point, returns ctx.Err(), and leaks no goroutines.
+func TestSweepMidRunCancel(t *testing.T) {
+	s, err := New(
+		WithPattern("uniform"),
+		WithMesh(8, 8),
+		WithLoad(0.3),
+		WithWorkers(4),
+		WithCalibration(Calibration{SaturationRate: 0.42, LambdaMax: 0.378, TargetDelayNs: 150}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	time.AfterFunc(100*time.Millisecond, cancel)
+
+	start := time.Now()
+	_, err = Sweep(ctx, Grid{
+		Base:     s,
+		Loads:    []float64{0.1, 0.2, 0.3, 0.35},
+		Policies: []PolicyKind{NoDVFS, RMSD},
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Errorf("cancelled Sweep returned after %v, want prompt return", elapsed)
+	}
+	waitForGoroutines(t, before)
+}
+
+// waitForGoroutines asserts the goroutine count returns to the baseline
+// (with a little slack for runtime helpers) within a grace period.
+func waitForGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf)
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunReproducible: the same scenario run twice yields byte-identical
+// metrics — the determinism contract behind the wire form.
+func TestRunReproducible(t *testing.T) {
+	s := quickBase(t)
+	a, err := Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsJSON(t, a) != metricsJSON(t, b) {
+		t.Errorf("two runs of the same scenario differ:\n%s\n%s", metricsJSON(t, a), metricsJSON(t, b))
+	}
+}
+
+// TestJSONRoundTripRunByteIdentical is the wire-form determinism
+// contract end to end: a scenario that crosses the wire must Run to
+// byte-identical metrics on the other side.
+func TestJSONRoundTripRunByteIdentical(t *testing.T) {
+	scenarios := []Scenario{
+		quickBase(t),
+		quickBase(t, WithPolicy(RMSD)),
+	}
+	if !testing.Short() {
+		scenarios = append(scenarios,
+			quickBase(t, WithPolicy(DMSD)),
+			quickBase(t, WithPattern("neighbor"), WithLoad(0.3)),
+			MustNew(WithApp("h264"), WithLoad(0.5), WithQuick(),
+				WithCalibration(Calibration{SaturationRate: 0.9, LambdaMax: 0.3, TargetDelayNs: 120})),
+		)
+	}
+	for _, s := range scenarios {
+		direct, err := Run(context.Background(), s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Scenario
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		wire, err := Run(context.Background(), back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if metricsJSON(t, direct) != metricsJSON(t, wire) {
+			t.Errorf("%s/%s: run after JSON round trip differs:\ndirect %s\nwire   %s",
+				s.Pattern+s.App, s.Policy, metricsJSON(t, direct), metricsJSON(t, wire))
+		}
+	}
+}
+
+// TestRunRecordsResolvedCalibration: auto-calibration must surface in
+// the result's scenario so the run can be repeated without the search.
+func TestRunRecordsResolvedCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: runs a saturation search")
+	}
+	s := MustNew(WithPattern("uniform"), WithLoad(0.15), WithPolicy(RMSD), WithQuick())
+	res, err := Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal := res.Scenario.Calibration
+	if cal == nil || cal.LambdaMax <= 0 || cal.TargetDelayNs <= 0 {
+		t.Fatalf("resolved calibration not recorded: %+v", cal)
+	}
+	// Re-running the recorded scenario skips the search and reproduces
+	// the metrics exactly.
+	again, err := Run(context.Background(), res.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsJSON(t, res) != metricsJSON(t, again) {
+		t.Errorf("re-run with recorded calibration differs")
+	}
+}
+
+// TestRunPacketLog: the runtime packet-log attachment records exactly
+// the measured packets.
+func TestRunPacketLog(t *testing.T) {
+	plog := NewPacketLog(1 << 16)
+	s, err := quickBase(t).With(WithPacketLog(plog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(plog.Len()) != res.Packets {
+		t.Errorf("log has %d records, result measured %d packets", plog.Len(), res.Packets)
+	}
+}

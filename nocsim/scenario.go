@@ -1,0 +1,329 @@
+package nocsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/dvfs"
+	"repro/internal/noc"
+	"repro/internal/traffic"
+	"repro/internal/volt"
+)
+
+// Routing names a deterministic routing algorithm.
+type Routing string
+
+// The supported routing algorithms.
+const (
+	// RoutingXY is dimension-ordered routing, X first (the paper's choice).
+	RoutingXY Routing = "xy"
+	// RoutingYX is dimension-ordered routing, Y first.
+	RoutingYX Routing = "yx"
+	// RoutingO1Turn picks XY or YX uniformly at random per packet.
+	RoutingO1Turn Routing = "o1turn"
+)
+
+// PolicyKind names one of the paper's three DVFS controllers.
+type PolicyKind string
+
+// The three policies of the paper.
+const (
+	// NoDVFS pins the network clock at the node clock (the baseline).
+	NoDVFS PolicyKind = "nodvfs"
+	// RMSD is the rate-based policy: frequency proportional to the
+	// offered rate.
+	RMSD PolicyKind = "rmsd"
+	// DMSD is the delay-based policy: a PI loop holding the measured
+	// delay at a setpoint.
+	DMSD PolicyKind = "dmsd"
+)
+
+// AllPolicies returns the paper's comparison set in presentation order.
+func AllPolicies() []PolicyKind { return []PolicyKind{NoDVFS, RMSD, DMSD} }
+
+// Mesh describes the network fabric.
+type Mesh struct {
+	// Width and Height are the mesh dimensions in routers.
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// VCs is the number of virtual channels per input port.
+	VCs int `json:"vcs"`
+	// BufDepth is the number of flit slots per virtual-channel buffer.
+	BufDepth int `json:"buf_depth"`
+	// PacketSize is the packet length in flits.
+	PacketSize int `json:"packet_size"`
+	// Routing selects the routing algorithm.
+	Routing Routing `json:"routing"`
+}
+
+// DefaultMesh returns the paper's baseline fabric: a 5x5 mesh with XY
+// routing, 8 virtual channels, 4 flit buffers per channel and 20-flit
+// packets (Sec. III, Fig. 2).
+func DefaultMesh() Mesh {
+	return Mesh{Width: 5, Height: 5, VCs: 8, BufDepth: 4, PacketSize: 20, Routing: RoutingXY}
+}
+
+// toNoc converts the mesh to the engine's fabric configuration.
+func (m Mesh) toNoc() (noc.Config, error) {
+	r, err := noc.ParseRouting(string(m.Routing))
+	if err != nil {
+		return noc.Config{}, err
+	}
+	return noc.Config{
+		Width: m.Width, Height: m.Height, VCs: m.VCs,
+		BufDepth: m.BufDepth, PacketSize: m.PacketSize, Routing: r,
+	}, nil
+}
+
+// Calibration fixes the policy operating points of a scenario, following
+// the paper's recipe (Sec. III/IV): λmax 10% below the measured
+// saturation rate, and the DMSD setpoint equal to the full-speed delay at
+// λmax. Obtain one with Calibrate, or fill the fields manually.
+type Calibration struct {
+	// SaturationRate is the measured saturation injection rate in flits
+	// per node per node cycle.
+	SaturationRate float64 `json:"saturation_rate"`
+	// LambdaMax is the RMSD target network rate (0.9 × saturation).
+	LambdaMax float64 `json:"lambda_max"`
+	// TargetDelayNs is the DMSD setpoint.
+	TargetDelayNs float64 `json:"target_delay_ns"`
+}
+
+func (c Calibration) toCore() core.Calibration {
+	return core.Calibration{SaturationRate: c.SaturationRate, LambdaMax: c.LambdaMax, TargetDelayNs: c.TargetDelayNs}
+}
+
+// Scenario is one self-contained simulation job: fabric, traffic, load,
+// policy and seed. Build one with New and the With... options; the zero
+// value is not usable. A Scenario marshals to and from JSON losslessly,
+// so it doubles as the wire form for distributing work: ship the bytes,
+// Unmarshal, Run.
+type Scenario struct {
+	// Mesh is the network fabric.
+	Mesh Mesh `json:"mesh"`
+	// Pattern is a synthetic traffic pattern name ("uniform", "tornado",
+	// "bitcomp", "transpose", "neighbor", "bitrev", "shuffle"). Exactly
+	// one of Pattern and App is set.
+	Pattern string `json:"pattern,omitempty"`
+	// App selects a multimedia workload by name ("h264" or "vce")
+	// instead of a synthetic pattern.
+	App string `json:"app,omitempty"`
+	// PeakRate is the busiest-node injection rate at App speed 1.0
+	// (default 0.40 flits/node/cycle, the apps' calibrated peak).
+	PeakRate float64 `json:"peak_rate,omitempty"`
+
+	// Load is the operating point: the injection rate in flits per node
+	// per node cycle for synthetic patterns, or the relative application
+	// speed (1.0 ≡ 75 frames/s) for apps.
+	Load float64 `json:"load"`
+	// Policy is the DVFS controller to run.
+	Policy PolicyKind `json:"policy"`
+	// Calibration fixes the policy operating points. When nil, Run
+	// calibrates automatically (and records the result in its Result).
+	Calibration *Calibration `json:"calibration,omitempty"`
+
+	// FNodeHz is the node clock frequency in Hz (default 1 GHz).
+	FNodeHz float64 `json:"fnode_hz"`
+	// FMinHz and FMaxHz bound the DVFS actuation range (defaults
+	// 333 MHz and 1 GHz, the paper's 28-nm range).
+	FMinHz float64 `json:"fmin_hz"`
+	FMaxHz float64 `json:"fmax_hz"`
+
+	// Seed is the root RNG seed (default 1). Sweep derives one
+	// independent stream per grid point from it.
+	Seed int64 `json:"seed"`
+	// Quick shrinks warmup/measurement windows roughly 4x for smoke
+	// tests and examples.
+	Quick bool `json:"quick,omitempty"`
+	// Workers bounds how many simulation points run concurrently in
+	// Sweep, Calibrate and FindSaturation (0 = GOMAXPROCS, 1 = serial).
+	// Results are byte-identical for every value.
+	Workers int `json:"workers,omitempty"`
+
+	// packetLog, when attached with WithPacketLog, records every
+	// measured packet's lifecycle. It is a runtime attachment, not part
+	// of the wire form, and forces sweeps to run serially.
+	packetLog *PacketLog
+}
+
+// Normalized returns the scenario with every unset field replaced by
+// the documented default, so a partial hand-written JSON scenario
+// behaves like one built with New. Run, Sweep, Calibrate and
+// FindSaturation normalize internally; call it directly when a wire
+// scenario must be validated or displayed before running.
+func (s Scenario) Normalized() Scenario { return s.normalized() }
+
+// normalized implements Normalized. Router parameters (VCs, buffers,
+// packet size, routing) default one by one, so a job that only states
+// what it changed is still complete; the mesh dimensions default as a
+// pair — a job naming just one of width/height is ambiguous and is left
+// for Validate to reject.
+func (s Scenario) normalized() Scenario {
+	d := DefaultMesh()
+	if s.Mesh.Width == 0 && s.Mesh.Height == 0 {
+		s.Mesh.Width, s.Mesh.Height = d.Width, d.Height
+		// An app scenario defaults to the mesh its graph is mapped on
+		// (4x4 for h264, 5x5 for vce), exactly as WithApp would set it;
+		// an unknown app name is left for Validate to report.
+		if s.App != "" {
+			if app, err := appByName(s.App); err == nil {
+				s.Mesh.Width, s.Mesh.Height = app.Width, app.Height
+			}
+		}
+	}
+	if s.Mesh.VCs == 0 {
+		s.Mesh.VCs = d.VCs
+	}
+	if s.Mesh.BufDepth == 0 {
+		s.Mesh.BufDepth = d.BufDepth
+	}
+	if s.Mesh.PacketSize == 0 {
+		s.Mesh.PacketSize = d.PacketSize
+	}
+	if s.Mesh.Routing == "" {
+		s.Mesh.Routing = d.Routing
+	}
+	if s.Pattern == "" && s.App == "" {
+		s.Pattern = "uniform"
+	}
+	if s.App != "" && s.PeakRate == 0 {
+		s.PeakRate = apps.DefaultPeakRate
+	}
+	if s.Load == 0 {
+		s.Load = 0.2 // the paper's reference operating point
+	}
+	if s.Policy == "" {
+		s.Policy = NoDVFS
+	}
+	if s.FNodeHz == 0 {
+		s.FNodeHz = 1e9
+	}
+	if s.FMinHz == 0 {
+		s.FMinHz = volt.FMin
+	}
+	if s.FMaxHz == 0 {
+		s.FMaxHz = volt.FMax
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Validate reports whether the scenario is internally consistent. New and
+// With validate eagerly; Run validates again so scenarios arriving over
+// the wire get the same checks.
+func (s Scenario) Validate() error {
+	var errs []error
+	cfg, err := s.Mesh.toNoc()
+	cfgOK := err == nil
+	if err != nil {
+		errs = append(errs, err)
+	} else if err := cfg.Validate(); err != nil {
+		cfgOK = false
+		errs = append(errs, err)
+	}
+	switch {
+	case s.Pattern == "" && s.App == "":
+		errs = append(errs, errors.New("nocsim: scenario needs a pattern or an app"))
+	case s.Pattern != "" && s.App != "":
+		errs = append(errs, errors.New("nocsim: scenario has both a pattern and an app"))
+	case s.Pattern != "":
+		if cfgOK {
+			if _, err := traffic.ByName(s.Pattern, cfg); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	default:
+		app, err := appByName(s.App)
+		if err != nil {
+			errs = append(errs, err)
+		} else if s.Mesh.Width != app.Width || s.Mesh.Height != app.Height {
+			errs = append(errs, fmt.Errorf("nocsim: app %q is mapped on a %dx%d mesh, scenario has %dx%d",
+				s.App, app.Width, app.Height, s.Mesh.Width, s.Mesh.Height))
+		}
+	}
+	switch s.Policy {
+	case NoDVFS, RMSD, DMSD:
+	default:
+		errs = append(errs, fmt.Errorf("nocsim: unknown policy %q", s.Policy))
+	}
+	if s.Load <= 0 {
+		errs = append(errs, fmt.Errorf("nocsim: load %g must be positive", s.Load))
+	}
+	if s.FNodeHz <= 0 {
+		errs = append(errs, fmt.Errorf("nocsim: node clock %g Hz", s.FNodeHz))
+	}
+	if s.FMinHz <= 0 || s.FMaxHz < s.FMinHz {
+		errs = append(errs, fmt.Errorf("nocsim: frequency range [%g, %g] Hz", s.FMinHz, s.FMaxHz))
+	}
+	if s.PeakRate < 0 {
+		errs = append(errs, fmt.Errorf("nocsim: peak rate %g", s.PeakRate))
+	}
+	if s.Workers < 0 {
+		errs = append(errs, fmt.Errorf("nocsim: workers %d", s.Workers))
+	}
+	if c := s.Calibration; c != nil {
+		if s.Policy == RMSD && c.LambdaMax <= 0 {
+			errs = append(errs, errors.New("nocsim: rmsd needs calibration.lambda_max > 0"))
+		}
+		if s.Policy == DMSD && c.TargetDelayNs <= 0 {
+			errs = append(errs, errors.New("nocsim: dmsd needs calibration.target_delay_ns > 0"))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// toCore converts the scenario to the internal experiment representation.
+// The scenario must be normalized and valid.
+func (s Scenario) toCore() (core.Scenario, error) {
+	cfg, err := s.Mesh.toNoc()
+	if err != nil {
+		return core.Scenario{}, err
+	}
+	cs := core.Scenario{
+		Noc:      cfg,
+		Pattern:  s.Pattern,
+		PeakRate: s.PeakRate,
+		FNode:    s.FNodeHz,
+		Range:    dvfs.Range{FMin: s.FMinHz, FMax: s.FMaxHz},
+		Seed:     s.Seed,
+		Quick:    s.Quick,
+		Workers:  s.Workers,
+	}
+	if s.App != "" {
+		app, err := appByName(s.App)
+		if err != nil {
+			return core.Scenario{}, err
+		}
+		cs.App = &app
+	}
+	if s.packetLog != nil {
+		cs.PacketLog = s.packetLog.log
+	}
+	return cs, nil
+}
+
+// coreCal returns the scenario's calibration in internal form, zero when
+// none is attached.
+func (s Scenario) coreCal() core.Calibration {
+	if s.Calibration == nil {
+		return core.Calibration{}
+	}
+	return s.Calibration.toCore()
+}
+
+// defaultPeakRate is the apps' calibrated busiest-node rate at speed 1.0.
+func defaultPeakRate() float64 { return apps.DefaultPeakRate }
+
+// appByName resolves a multimedia workload by its name.
+func appByName(name string) (apps.App, error) {
+	for _, a := range apps.Apps() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return apps.App{}, fmt.Errorf("nocsim: unknown app %q (want h264 or vce)", name)
+}
