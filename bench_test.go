@@ -27,6 +27,7 @@ import (
 	"repro/internal/noc"
 	"repro/internal/sweep"
 	"repro/internal/volt"
+	"repro/nocsim"
 )
 
 // benchOpts returns reduced-size options so one benchmark iteration stays
@@ -51,11 +52,11 @@ func getBenchBundle(b *testing.B) *sweep.Bundle {
 
 func reportDelayRatio(b *testing.B, bundle *sweep.Bundle) {
 	b.Helper()
-	rm := bundle.Comparison.Sweeps[core.RMSD].Points
-	dm := bundle.Comparison.Sweeps[core.DMSD].Points
+	rm := bundle.Curve(nocsim.RMSD)
+	dm := bundle.Curve(nocsim.DMSD)
 	mid := len(rm) / 2
-	if len(dm) > mid && dm[mid].Result.AvgDelayNs > 0 {
-		b.ReportMetric(rm[mid].Result.AvgDelayNs/dm[mid].Result.AvgDelayNs, "delay-ratio-rmsd/dmsd")
+	if len(dm) > mid && dm[mid].AvgDelayNs > 0 {
+		b.ReportMetric(rm[mid].AvgDelayNs/dm[mid].AvgDelayNs, "delay-ratio-rmsd/dmsd")
 	}
 }
 
@@ -68,9 +69,9 @@ func BenchmarkFig2_RMSDAnomaly(b *testing.B) {
 		}
 	}
 	bundle := getBenchBundle(b)
-	no := bundle.Comparison.Sweeps[core.NoDVFS].Points
-	rm := bundle.Comparison.Sweeps[core.RMSD].Points
-	b.ReportMetric(rm[0].Result.AvgDelayNs/no[0].Result.AvgDelayNs, "rmsd/nodvfs-delay@low")
+	no := bundle.Curve(nocsim.NoDVFS)
+	rm := bundle.Curve(nocsim.RMSD)
+	b.ReportMetric(rm[0].AvgDelayNs/no[0].AvgDelayNs, "rmsd/nodvfs-delay@low")
 }
 
 func BenchmarkFig4_FrequencyAndDelay(b *testing.B) {
@@ -105,11 +106,11 @@ func BenchmarkFig6_Power(b *testing.B) {
 	}
 	// Report the paper's annotated ratio (≈2.2x) at the mid-grid point.
 	bundle := getBenchBundle(b)
-	no := bundle.Comparison.Sweeps[core.NoDVFS].Points
-	rm := bundle.Comparison.Sweeps[core.RMSD].Points
+	no := bundle.Curve(nocsim.NoDVFS)
+	rm := bundle.Curve(nocsim.RMSD)
 	mid := len(no) / 2
-	if rm[mid].Result.AvgPowerMW > 0 {
-		b.ReportMetric(no[mid].Result.AvgPowerMW/rm[mid].Result.AvgPowerMW, "power-ratio-nodvfs/rmsd")
+	if rm[mid].AvgPowerMW > 0 {
+		b.ReportMetric(no[mid].AvgPowerMW/rm[mid].AvgPowerMW, "power-ratio-nodvfs/rmsd")
 	}
 }
 

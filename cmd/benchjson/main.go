@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a JSON benchmark record on stdout, for the CI bench-baseline artifact:
+//
+//	go test -run '^$' -bench . -benchtime 1x ./... | benchjson > BENCH.json
+//
+// Each benchmark line becomes one entry carrying the iteration count and
+// every reported metric (ns/op, B/op, and the custom b.ReportMetric
+// values like delay-ratio-rmsd/dmsd). Non-benchmark lines (PASS, ok,
+// package headers) are skipped; a FAIL line makes the exit status
+// non-zero so CI does not archive a broken baseline.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result.
+type Entry struct {
+	// Name is the benchmark name with its -cpu suffix intact
+	// (e.g. "BenchmarkFig7_Tornado-8").
+	Name string `json:"name"`
+	// Iterations is b.N for the run.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps each reported unit to its value, e.g.
+	// {"ns/op": 1.2e9, "delay-ratio-rmsd/dmsd": 2.5}.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Record is the whole artifact: host context plus the parsed entries.
+type Record struct {
+	GoVersion string  `json:"go_version"`
+	GOOS      string  `json:"goos"`
+	GOARCH    string  `json:"goarch"`
+	NumCPU    int     `json:"num_cpu"`
+	Entries   []Entry `json:"entries"`
+}
+
+// parseLine parses one "BenchmarkName-N  iters  v1 unit1  v2 unit2 ..."
+// line, returning ok=false for anything that is not a benchmark result.
+func parseLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		e.Metrics[fields[i+1]] = v
+	}
+	return e, true
+}
+
+func main() {
+	rec := Record{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Entries:   []Entry{},
+	}
+	failed := false
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "FAIL") {
+			failed = true
+		}
+		if e, ok := parseLine(line); ok {
+			rec.Entries = append(rec.Entries, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	out := json.NewEncoder(os.Stdout)
+	out.SetIndent("", "  ")
+	if err := out.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: input contains FAIL")
+		os.Exit(1)
+	}
+	if len(rec.Entries) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+}

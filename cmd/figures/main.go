@@ -5,6 +5,16 @@
 //	figures -fig 2,4,6 -quick   # the baseline trio with short windows
 //	figures -fig 5              # the voltage-frequency curve (instant)
 //	figures -fig 10 -points 6   # multimedia panels with 6 speed samples
+//
+// With -manifest DIR every figure is planned as a resolved-grid JSON
+// manifest (DIR/<fig>.manifest.json) and each completed simulation point
+// is appended to DIR/<fig>.points.jsonl as it finishes. An interrupted
+// run therefore keeps everything it paid for: re-running with -resume
+// reloads the manifest (skipping calibration) and computes only the
+// missing points before reassembling the tables.
+//
+//	figures -fig 8 -manifest runs/fig8            # restartable run
+//	figures -fig 8 -manifest runs/fig8 -resume    # finish an interrupted run
 package main
 
 import (
@@ -22,9 +32,9 @@ import (
 )
 
 // reportProgress polls the exp engine's cumulative point counters and
-// logs completion and throughput until the process exits. The scheduled
-// total grows as nested sweeps enqueue work, so the ETA firms up as the
-// run proceeds.
+// logs completion, throughput and the in-flight leaf-simulation count
+// until the process exits. The scheduled total grows as nested sweeps
+// enqueue work, so the ETA firms up as the run proceeds.
 func reportProgress(interval time.Duration) {
 	start := time.Now()
 	for range time.Tick(interval) {
@@ -34,7 +44,9 @@ func reportProgress(interval time.Duration) {
 		}
 		elapsed := time.Since(start)
 		rate := float64(done) / elapsed.Seconds()
-		msg := fmt.Sprintf("progress: %d/%d points, %.1f points/s", done, scheduled, rate)
+		inFlight, _ := exp.LeafStats()
+		msg := fmt.Sprintf("progress: %d/%d points, %.1f points/s, %d sims in flight",
+			done, scheduled, rate, inFlight)
 		if left := scheduled - done; left > 0 && rate > 0 {
 			eta := time.Duration(float64(left) / rate * float64(time.Second))
 			msg += fmt.Sprintf(", eta >= %s", eta.Round(time.Second))
@@ -43,20 +55,72 @@ func reportProgress(interval time.Duration) {
 	}
 }
 
+// selection maps the user's -fig tokens to the manifest-backed figures
+// to run, whether the analytic Fig. 5 is wanted, and the table-ID
+// prefixes to keep from the shared baseline manifest.
+func selection(figs string) (run []string, fig5 bool, baselineIDs map[string]bool, err error) {
+	want := map[string]bool{}
+	for _, f := range strings.Split(figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	all := want["all"]
+	baselineIDs = map[string]bool{}
+	for token, prefix := range map[string]string{"2": "fig2", "4": "fig4", "6": "fig6", "summary": "summary"} {
+		if all || want[token] {
+			baselineIDs[prefix] = true
+		}
+	}
+	ablations := []string{"period", "gains", "levels", "routing", "breakdown"}
+	seen := map[string]bool{}
+	add := func(fig string, cond bool) {
+		if cond && !seen[fig] {
+			seen[fig] = true
+			run = append(run, fig)
+		}
+	}
+	add("baseline", len(baselineIDs) > 0)
+	add("fig7", all || want["7"])
+	add("fig8", all || want["8"])
+	add("fig10", all || want["10"])
+	add("pi", all || want["pi"])
+	for _, abl := range ablations {
+		add(abl, all || want["ablation"] || want[abl])
+	}
+	fig5 = all || want["5"]
+	known := map[string]bool{"all": true, "2": true, "4": true, "5": true, "6": true,
+		"7": true, "8": true, "10": true, "pi": true, "summary": true, "ablation": true}
+	for _, abl := range ablations {
+		known[abl] = true
+	}
+	for f := range want {
+		if f != "" && !known[f] {
+			return nil, false, nil, fmt.Errorf("unknown figure %q", f)
+		}
+	}
+	return run, fig5, baselineIDs, nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("figures: ")
 
 	var (
-		figs     = flag.String("fig", "all", "comma-separated figure list: 2,4,5,6,7,8,10,pi,summary,ablation or 'all'")
-		quick    = flag.Bool("quick", false, "shorter windows and smaller grids")
-		points   = flag.Int("points", 0, "samples per curve (0 = default)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		csvDir   = flag.String("csv", "", "also write one CSV per table into this directory")
-		workers  = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS, 1 = serial); results are identical either way")
-		progress = flag.Bool("progress", false, "log point completion and ETA every few seconds")
+		figs      = flag.String("fig", "all", "comma-separated figure list: 2,4,5,6,7,8,10,pi,summary,ablation (or period,gains,levels,routing,breakdown individually) or 'all'")
+		quick     = flag.Bool("quick", false, "shorter windows and smaller grids")
+		points    = flag.Int("points", 0, "samples per curve (0 = default)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		csvDir    = flag.String("csv", "", "also write one CSV per table into this directory")
+		workers   = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS, 1 = serial); results are identical either way")
+		progress  = flag.Bool("progress", false, "log point completion and ETA every few seconds")
+		manifest  = flag.String("manifest", "", "persist resolved-grid manifests and completed points under this directory")
+		resume    = flag.Bool("resume", false, "with -manifest: reuse stored manifests and completed points, running only the missing ones")
+		maxPoints = flag.Int("max-points", 0, "stop each figure after this many new points (0 = no limit); for testing interrupted runs")
 	)
 	flag.Parse()
+
+	// The leaf budget is the process-wide cap on concurrently executing
+	// simulations: nested panels stack worker pools, but never sims.
+	exp.SetLeafBudget(*workers)
 
 	// Interrupt cancels the context, which aborts in-flight simulations
 	// promptly (the engine loop observes it).
@@ -67,71 +131,59 @@ func main() {
 	if *progress {
 		go reportProgress(3 * time.Second)
 	}
-	want := map[string]bool{}
-	for _, f := range strings.Split(*figs, ",") {
-		want[strings.TrimSpace(f)] = true
+	run, fig5, baselineIDs, err := selection(*figs)
+	if err != nil {
+		log.Fatal(err)
 	}
-	all := want["all"]
-	needBundle := all || want["2"] || want["4"] || want["6"] || want["summary"]
+	if len(run) == 0 && !fig5 {
+		log.Fatalf("nothing selected by -fig %q", *figs)
+	}
 
-	var bundle *sweep.Bundle
-	if needBundle {
-		log.Println("running baseline three-policy sweep (figs 2/4/6/summary)...")
-		var err error
-		bundle, err = sweep.BaselineBundle(ctx, o)
-		if err != nil {
+	var store *sweep.DirStore
+	if *manifest != "" {
+		if store, err = sweep.NewDirStore(*manifest); err != nil {
 			log.Fatal(err)
 		}
+	} else if *resume {
+		log.Fatal("-resume needs -manifest")
+	} else if *maxPoints > 0 {
+		// Without a store the interrupted run's points would be computed
+		// and thrown away, with no way to resume.
+		log.Fatal("-max-points needs -manifest")
 	}
 
 	var tables []sweep.Table
-	add := func(ts []sweep.Table, err error) {
+	incomplete := 0
+	for _, fig := range run {
+		log.Printf("running %s...", fig)
+		ts, complete, err := sweep.Generate(ctx, fig, o, store, *resume, *maxPoints)
 		if err != nil {
 			log.Fatal(err)
 		}
+		if !complete {
+			incomplete++
+			log.Printf("%s: stopped after -max-points %d new points; finish it with -resume", fig, *maxPoints)
+			continue
+		}
+		if fig == "baseline" {
+			for _, t := range ts {
+				for prefix := range baselineIDs {
+					if strings.HasPrefix(t.ID, prefix) {
+						tables = append(tables, t)
+						break
+					}
+				}
+			}
+			continue
+		}
 		tables = append(tables, ts...)
 	}
-	if all || want["2"] {
-		add(sweep.Fig2(bundle), nil)
+	if fig5 {
+		tables = append(tables, sweep.Fig5(o)...)
 	}
-	if all || want["4"] {
-		add(sweep.Fig4(bundle), nil)
-	}
-	if all || want["5"] {
-		add(sweep.Fig5(o), nil)
-	}
-	if all || want["6"] {
-		add(sweep.Fig6(bundle), nil)
-	}
-	if all || want["7"] {
-		log.Println("running synthetic-pattern sweeps (fig 7)...")
-		add(sweep.Fig7(ctx, o))
-	}
-	if all || want["8"] {
-		log.Println("running sensitivity sweeps (fig 8)...")
-		add(sweep.Fig8(ctx, o))
-	}
-	if all || want["10"] {
-		log.Println("running multimedia sweeps (fig 10)...")
-		add(sweep.Fig10(ctx, o))
-	}
-	if all || want["pi"] {
-		log.Println("running PI transient (pi)...")
-		add(sweep.PIStep(ctx, o))
-	}
-	if all || want["summary"] {
-		add(sweep.Summary(bundle), nil)
-	}
-	if all || want["ablation"] {
-		log.Println("running ablations (control period, gains, levels, routing, breakdown)...")
-		add(sweep.AblationControlPeriod(ctx, o))
-		add(sweep.AblationGains(ctx, o))
-		add(sweep.AblationDiscreteLevels(ctx, o))
-		add(sweep.AblationRouting(ctx, o))
-		add(sweep.PowerBreakdown(ctx, o))
-	}
-	if len(tables) == 0 {
-		log.Fatalf("nothing selected by -fig %q", *figs)
+	if incomplete > 0 {
+		log.Printf("%d figure(s) left incomplete (manifest saved under %s)", incomplete, *manifest)
+		return
 	}
 
 	for i := range tables {

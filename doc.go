@@ -45,6 +45,24 @@
 // worker count — Workers=1 is the serial reference the
 // golden-determinism tests compare against.
 //
+// Scheduling is depth-aware: worker pools bound goroutines per grid, but
+// only leaf simulation runs hold slots of one process-wide budget
+// (exp.SetLeafBudget), so nested grids — a figure panel whose points fan
+// out their own sub-grids — never multiply the number of concurrently
+// executing simulations beyond W, and since panel jobs never hold slots
+// the scheme cannot deadlock.
+//
+// # Manifests and resume
+//
+// Every figure and ablation in internal/sweep is planned as a manifest:
+// the panels' nocsim.Grids are resolved (calibration pinned) up front,
+// making each simulation point a self-contained JSON job. cmd/figures
+// and cmd/report persist manifests and completed points with -manifest
+// DIR and finish interrupted runs with -resume, re-running only the
+// missing points and reassembling identical tables; see README.md. The
+// same manifest form is the job unit a future distributed work-queue
+// runner will consume.
+//
 // Entry points: cmd/nocsim (single run or JSON scenario), cmd/figures
 // (regenerate the evaluation), cmd/capacity (saturation analysis),
 // cmd/report (paper-vs-measured report), and examples/ — all thin

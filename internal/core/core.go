@@ -64,6 +64,23 @@ type Scenario struct {
 	// and benchmarks.
 	Quick bool
 
+	// ControlPeriod overrides the DVFS control update period in node
+	// cycles (0 = the engine default, or the shortened Quick period). It
+	// wins over the Quick shortening, so a period ablation sweeps the
+	// same values in quick and full mode.
+	ControlPeriod int64
+	// KI and KP override the DMSD PI gains (0 = the paper's published
+	// values).
+	KI, KP float64
+	// FreqLevels quantizes the actuation range into this many discrete
+	// frequency levels (0 = continuous actuation, the paper's default).
+	FreqLevels int
+	// Transient captures the controller's cold-start transient instead of
+	// the steady state: no equilibrium warm start, a short fixed warmup,
+	// a long measurement window, and a per-control-period frequency trace
+	// in the result.
+	Transient bool
+
 	// Workers bounds how many simulation points run concurrently in the
 	// sweeps and searches (0 = GOMAXPROCS, 1 = serial reference). Results
 	// are byte-identical for every value: each point owns its RNG and the
@@ -121,6 +138,15 @@ func (s *Scenario) validate() error {
 	if s.Pattern != "" && s.App != nil {
 		return errors.New("core: scenario has both a pattern and an app")
 	}
+	if s.ControlPeriod < 0 {
+		return fmt.Errorf("core: control period %d", s.ControlPeriod)
+	}
+	if s.FreqLevels < 0 || s.FreqLevels == 1 {
+		return fmt.Errorf("core: %d frequency levels (want 0 for continuous or >= 2)", s.FreqLevels)
+	}
+	if s.KI < 0 || s.KP < 0 {
+		return fmt.Errorf("core: negative PI gains KI=%g KP=%g", s.KI, s.KP)
+	}
 	return s.Noc.Validate()
 }
 
@@ -165,7 +191,61 @@ func (s *Scenario) simParams(load float64, pol dvfs.Policy, adaptive bool, seed 
 		p.MaxWarmup = 150000
 		p.ControlPeriod = 2000
 	}
+	if s.ControlPeriod > 0 {
+		p.ControlPeriod = s.ControlPeriod
+	}
+	if s.Transient {
+		// Transient capture: start measuring almost immediately and keep
+		// the window long enough to hold the whole settling trajectory.
+		p.AdaptiveWarmup = false
+		p.Warmup = 1000
+		p.Measure = 400000
+		if s.Quick {
+			p.Measure = 100000
+		}
+		p.TraceFreq = true
+	}
 	return p, nil
+}
+
+// runSim executes one simulation under the process-wide leaf budget:
+// the slot is held exactly for the duration of the engine run, so no
+// matter how many worker pools are stacked above (figure panels fanning
+// out policy grids fanning out probes), in-flight simulations never
+// exceed exp.SetLeafBudget's cap. Every sim.RunContext call in this
+// package goes through here.
+func runSim(ctx context.Context, p sim.Params) (sim.Result, error) {
+	release, err := exp.AcquireLeaf(ctx)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer release()
+	return sim.RunContext(ctx, p)
+}
+
+// EquilibriumFreq estimates the DMSD steady-state network frequency at
+// the given load: 10% above the RMSD law FNode·λ/λmax (the frequency
+// that pins the network at λmax), since the DMSD setpoint sits just
+// inside the stable region, clipped to the actuation range. Warm-starting
+// the PI loop there removes the long cold-start descent from FMax
+// without biasing the steady state, which is what makes every DMSD grid
+// point an independent job instead of a link in a sequential warm-start
+// chain. With an empty calibration (no λmax) it returns FMax — the cold
+// start.
+func EquilibriumFreq(s Scenario, load float64, cal Calibration) float64 {
+	s.setDefaults()
+	if cal.LambdaMax <= 0 {
+		return s.Range.FMax
+	}
+	lambda := load
+	if s.App != nil {
+		// For apps the load is a relative speed; the offered network rate
+		// is the injector's mean per-node rate at that speed.
+		if inj, err := s.injector(load, s.Seed); err == nil {
+			lambda = inj.MeanRate()
+		}
+	}
+	return dvfs.Clip(1.1*s.FNode*lambda/cal.LambdaMax, s.Range.FMin, s.Range.FMax)
 }
 
 // FindSaturation locates the saturation injection rate of the scenario's
@@ -209,7 +289,7 @@ func FindSaturation(ctx context.Context, s Scenario) (float64, error) {
 		}
 		p.Warmup = 8000
 		p.Measure = 25000
-		res, err := sim.RunContext(ctx, p)
+		res, err := runSim(ctx, p)
 		if err != nil {
 			return false, err
 		}
@@ -330,7 +410,7 @@ func Calibrate(ctx context.Context, s Scenario) (Calibration, error) {
 	if err != nil {
 		return Calibration{}, err
 	}
-	res, err := sim.RunContext(ctx, p)
+	res, err := runSim(ctx, p)
 	if err != nil {
 		return Calibration{}, err
 	}
@@ -341,15 +421,41 @@ func Calibrate(ctx context.Context, s Scenario) (Calibration, error) {
 	return Calibration{SaturationRate: satLoad, LambdaMax: lmax, TargetDelayNs: target}, nil
 }
 
-// buildPolicy constructs one controller for the scenario and calibration.
-func buildPolicy(kind PolicyKind, s *Scenario, cal Calibration) (dvfs.Policy, error) {
+// buildPolicy constructs one controller for the scenario and calibration
+// at the given load. The DMSD controller is warm-started at the
+// equilibrium guess for the load (unless the scenario captures the
+// transient), so each grid point emulates a continuously running
+// controller without chaining to its neighbours.
+func buildPolicy(kind PolicyKind, s *Scenario, cal Calibration, load float64) (dvfs.Policy, error) {
+	rng := s.Range
+	if s.FreqLevels > 0 {
+		levels, err := volt.New().Quantize(rng.FMin, rng.FMax, s.FreqLevels)
+		if err != nil {
+			return nil, err
+		}
+		rng.Levels = &levels
+	}
 	switch kind {
 	case NoDVFS:
 		return dvfs.NewNoDVFS(s.FNode), nil
 	case RMSD:
-		return dvfs.NewRMSD(s.FNode, cal.LambdaMax, s.Range)
+		return dvfs.NewRMSD(s.FNode, cal.LambdaMax, rng)
 	case DMSD:
-		return dvfs.NewDMSD(cal.TargetDelayNs, s.Range)
+		ki, kp := s.KI, s.KP
+		if ki == 0 {
+			ki = dvfs.DefaultKI
+		}
+		if kp == 0 {
+			kp = dvfs.DefaultKP
+		}
+		pol, err := dvfs.NewDMSDGains(cal.TargetDelayNs, rng, ki, kp)
+		if err != nil {
+			return nil, err
+		}
+		if !s.Transient {
+			pol.WarmStart(EquilibriumFreq(*s, load, cal))
+		}
+		return pol, nil
 	default:
 		return nil, fmt.Errorf("core: unknown policy %q", kind)
 	}
@@ -377,17 +483,16 @@ type Comparison struct {
 }
 
 // ComparePolicies runs every requested policy across the load grid
-// (injection rates for synthetic traffic, speeds for apps) and returns the
-// measured curves. The DMSD controller is warm-started from each previous
-// point's settled frequency, emulating a continuously running controller
-// and avoiding the full FMax transient at every grid point. A zero-valued
-// cal triggers automatic calibration.
+// (injection rates for synthetic traffic, speeds for apps) and returns
+// the measured curves. A zero-valued cal triggers automatic calibration.
 //
-// The grid is fanned out across the exp engine under Scenario.Workers.
-// The memoryless policies (No-DVFS, RMSD: Reset restores their full
-// initial state) run one point per job with a fresh controller, so every
-// point is independent; the DMSD warm-start chain stays one sequential
-// job. Every (policy, load) point owns an independent RNG stream derived
+// Every (policy, load) point is one independent job fanned out across
+// the exp engine under Scenario.Workers: the memoryless policies
+// (No-DVFS, RMSD) build a fresh controller per point, and DMSD is
+// warm-started at the point's equilibrium guess (EquilibriumFreq), which
+// replaces the old sequential warm-start chain and is exactly what
+// nocsim.Run does for a standalone grid point — the two paths produce
+// identical numbers. Each point owns an independent RNG stream derived
 // from the scenario seed and the point's position in the kinds × loads
 // grid through exp.Seed, so replication samples across points are
 // uncorrelated. Results are byte-identical to serial execution for any
@@ -410,68 +515,44 @@ func ComparePolicies(ctx context.Context, s Scenario, loads []float64, kinds []P
 			return Comparison{}, err
 		}
 	}
-	// One job per (policy, load) point, except DMSD whose points chain
-	// through WarmStart and form a single job. Each job remembers the base
-	// index of its first point in the flat kinds × loads grid, so the
-	// per-point seed stream depends only on the grid position — never on
-	// how the points were chunked into jobs.
-	type job struct {
-		kind  PolicyKind
-		base  int // index of loads[0] in the flat kinds × loads grid
-		loads []float64
-	}
-	var jobs []job
-	for ki, kind := range kinds {
-		if kind == DMSD {
-			jobs = append(jobs, job{kind, ki * len(loads), loads})
-			continue
-		}
-		for i := range loads {
-			jobs = append(jobs, job{kind, ki*len(loads) + i, loads[i : i+1]})
-		}
-	}
-	curves, err := exp.Map(ctx, s.workers(), len(jobs),
-		func(ctx context.Context, ji int) ([]Point, error) {
-			j := jobs[ji]
-			pol, err := buildPolicy(j.kind, &s, cal)
+	// One leaf job per (policy, load) point; index i maps to policy
+	// i/len(loads) at load i%len(loads), and the per-point seed stream
+	// depends only on that flat grid position.
+	n := len(kinds) * len(loads)
+	curves, err := exp.Map(ctx, s.workers(), n,
+		func(ctx context.Context, i int) (Point, error) {
+			kind, load := kinds[i/len(loads)], loads[i%len(loads)]
+			pol, err := buildPolicy(kind, &s, cal, load)
 			if err != nil {
-				return nil, err
+				return Point{}, err
 			}
-			pts := make([]Point, 0, len(j.loads))
-			for i, load := range j.loads {
-				if dm, ok := pol.(*dvfs.DMSD); ok && i > 0 {
-					dm.WarmStart(dm.Freq())
-				}
-				p, err := s.simParams(load, pol, j.kind == DMSD, exp.Seed(s.Seed, j.base+i))
-				if err != nil {
-					return nil, err
-				}
-				res, err := sim.RunContext(ctx, p)
-				if err != nil {
-					return nil, err
-				}
-				pts = append(pts, Point{Load: load, Result: res})
+			p, err := s.simParams(load, pol, kind == DMSD, exp.Seed(s.Seed, i))
+			if err != nil {
+				return Point{}, err
 			}
-			return pts, nil
+			res, err := runSim(ctx, p)
+			if err != nil {
+				return Point{}, err
+			}
+			return Point{Load: load, Result: res}, nil
 		})
 	if err != nil {
 		return Comparison{}, err
 	}
 	out := Comparison{Scenario: s, Calibration: cal, Sweeps: make(map[PolicyKind]Sweep, len(kinds))}
-	for ji, j := range jobs {
-		sw, ok := out.Sweeps[j.kind]
-		if !ok {
-			sw = Sweep{Policy: j.kind, Points: make([]Point, 0, len(loads))}
-		}
-		sw.Points = append(sw.Points, curves[ji]...)
-		out.Sweeps[j.kind] = sw
+	for ki, kind := range kinds {
+		out.Sweeps[kind] = Sweep{Policy: kind, Points: curves[ki*len(loads) : (ki+1)*len(loads)]}
 	}
 	return out, nil
 }
 
 // RunOne executes a single (policy, load) point with automatic policy
-// construction; a convenience for examples and spot checks. The run uses
-// the scenario's root seed directly and observes ctx.
+// construction; a convenience for examples and spot checks, and the
+// execution path of every nocsim grid point. The run uses the scenario's
+// root seed directly and observes ctx. A DMSD run is warm-started at the
+// load's equilibrium guess exactly as a ComparePolicies grid point is
+// (unless Scenario.Transient captures the cold start), so a grid point
+// re-run standalone reproduces the sweep's number.
 func RunOne(ctx context.Context, s Scenario, kind PolicyKind, load float64, cal Calibration) (sim.Result, error) {
 	s.setDefaults()
 	if err := s.validate(); err != nil {
@@ -484,7 +565,7 @@ func RunOne(ctx context.Context, s Scenario, kind PolicyKind, load float64, cal 
 			return sim.Result{}, err
 		}
 	}
-	pol, err := buildPolicy(kind, &s, cal)
+	pol, err := buildPolicy(kind, &s, cal, load)
 	if err != nil {
 		return sim.Result{}, err
 	}
@@ -492,7 +573,7 @@ func RunOne(ctx context.Context, s Scenario, kind PolicyKind, load float64, cal 
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return sim.RunContext(ctx, p)
+	return runSim(ctx, p)
 }
 
 // LoadGrid returns n evenly spaced loads in (0, max], excluding zero.

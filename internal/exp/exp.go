@@ -21,6 +21,17 @@
 // compare against: the engine runs points one at a time on the calling
 // goroutine, in index order, with no goroutines at all.
 //
+// # Leaf budget
+//
+// Worker pools bound goroutines per Run call, not work per process:
+// nested grids (a panel point that fans out its own sub-grid) stack
+// pools multiplicatively. The process-wide leaf budget (SetLeafBudget,
+// AcquireLeaf) is the depth-aware bound: only the innermost unit of work
+// — one simulation — holds a budget slot while it executes, so total
+// in-flight simulations never exceed the budget no matter how deeply
+// grids nest, and since panel jobs never hold slots the scheme cannot
+// deadlock.
+//
 // # Cancellation and failure
 //
 // Run derives a child context and cancels it on the first point error (or
@@ -64,6 +75,11 @@ type Runner struct {
 	// OnProgress, when non-nil, is invoked after every completed point.
 	// Calls are serialized; keep the callback fast.
 	OnProgress func(Progress)
+	// Counters, when non-nil, additionally receives this run's
+	// scheduled/done increments, scoping progress to one Runner. The
+	// package-level Stats view stays the process-wide aggregate, which
+	// over-counts any single grid when nested grids run concurrently.
+	Counters *Counters
 }
 
 func (r Runner) workers() int {
@@ -110,8 +126,24 @@ func Seed(root int64, index int) int64 {
 	return int64(z)
 }
 
-// Package-wide cumulative point counters, for coarse progress reporting
-// across nested Run calls (cmd/figures polls them).
+// Counters accumulates scheduled/done point counts for the Run calls
+// that share it (attach one via Runner.Counters). Unlike the package
+// aggregate it is scoped: a figure generator can give each of its grids —
+// or all of them — one Counters value and read progress that is not
+// inflated by unrelated grids running concurrently in the same process.
+type Counters struct {
+	scheduled, done atomic.Int64
+}
+
+// Stats returns the cumulative points scheduled and completed by the Run
+// calls this Counters was attached to.
+func (c *Counters) Stats() (scheduled, done int64) {
+	return c.scheduled.Load(), c.done.Load()
+}
+
+// Package-wide cumulative point counters: the aggregate of every Run
+// call in the process, for coarse progress reporting across nested grids
+// (cmd/figures polls them).
 var (
 	statScheduled atomic.Int64
 	statDone      atomic.Int64
@@ -119,9 +151,93 @@ var (
 
 // Stats returns the cumulative number of points scheduled and completed
 // by every Run call in the process, across all (possibly nested) grids.
+// For progress scoped to one grid, attach a Counters to its Runner.
 func Stats() (scheduled, done int64) {
 	return statScheduled.Load(), statDone.Load()
 }
+
+// Leaf budget: one process-wide cap on concurrently executing *leaf*
+// simulations. Worker pools bound goroutines per Run call, so nested
+// grids (a figure panel whose points each fan out their own sub-grid)
+// multiply pools up to W² goroutines; the budget is what bounds the
+// actual work. Only leaf work — a single simulation, wrapped in
+// AcquireLeaf by the layer that runs it — holds a slot; panel/outer jobs
+// never do, so a blocked leaf only ever waits on other leaves, which
+// always finish: nesting cannot deadlock (a naive per-level semaphore
+// would, with a panel holding a slot while its children wait for one).
+var (
+	leafMu   sync.Mutex
+	leafCh   chan struct{} // buffered; capacity = budget
+	leafBusy atomic.Int64
+	leafPeak atomic.Int64
+)
+
+// leafSlots returns the current budget channel, creating it with the
+// default capacity (GOMAXPROCS) on first use.
+func leafSlots() chan struct{} {
+	leafMu.Lock()
+	defer leafMu.Unlock()
+	if leafCh == nil {
+		leafCh = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	return leafCh
+}
+
+// SetLeafBudget caps the number of concurrently executing leaf
+// simulations process-wide at n (n <= 0 restores the default,
+// GOMAXPROCS). Call it before starting experiments: slots held at the
+// time of the call drain against the old budget, so a mid-run resize
+// only bounds work acquired after it.
+func SetLeafBudget(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	leafMu.Lock()
+	defer leafMu.Unlock()
+	leafCh = make(chan struct{}, n)
+}
+
+// AcquireLeaf blocks until a leaf slot is free (or ctx is done) and
+// returns the release function. Wrap exactly the execution of one leaf
+// simulation: never hold a slot across code that acquires another, or
+// the no-deadlock argument above is void.
+func AcquireLeaf(ctx context.Context) (release func(), err error) {
+	ch := leafSlots()
+	select {
+	case ch <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	if busy := leafBusy.Add(1); busy > leafPeak.Load() {
+		// Benign race: a concurrent Add may publish a lower peak after a
+		// higher one, but both candidates were true in-flight counts and
+		// the loop below restores monotonicity.
+		for {
+			p := leafPeak.Load()
+			if busy <= p || leafPeak.CompareAndSwap(p, busy) {
+				break
+			}
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			leafBusy.Add(-1)
+			<-ch
+		})
+	}, nil
+}
+
+// LeafStats reports the number of leaf simulations executing right now
+// and the high-water mark since the last ResetLeafPeak. The peak is the
+// instrumented proof of the budget: it never exceeds the configured cap.
+func LeafStats() (inFlight, peak int64) {
+	return leafBusy.Load(), leafPeak.Load()
+}
+
+// ResetLeafPeak clears the leaf high-water mark (for tests and for
+// per-phase reporting).
+func ResetLeafPeak() { leafPeak.Store(leafBusy.Load()) }
 
 // Run executes fn(ctx, i) for every i in [0, n) across the runner's
 // worker pool and returns the results in index order. The returned error
@@ -139,6 +255,9 @@ func Run[T any](ctx context.Context, r Runner, n int, fn func(ctx context.Contex
 		return results, ctx.Err()
 	}
 	statScheduled.Add(int64(n))
+	if r.Counters != nil {
+		r.Counters.scheduled.Add(int64(n))
+	}
 	start := time.Now()
 	errs := make([]error, n)
 
@@ -149,6 +268,9 @@ func Run[T any](ctx context.Context, r Runner, n int, fn func(ctx context.Contex
 	done := 0
 	finish := func(i int, err error) {
 		statDone.Add(1)
+		if r.Counters != nil {
+			r.Counters.done.Add(1)
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		done++

@@ -209,6 +209,153 @@ func TestStatsAccumulate(t *testing.T) {
 	}
 }
 
+func TestRunnerCountersScopedPerRunner(t *testing.T) {
+	var mine, other Counters
+	run := func(c *Counters, n int) {
+		t.Helper()
+		if _, err := Run(context.Background(), Runner{Workers: 4, Counters: c}, n,
+			func(_ context.Context, i int) (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s0, d0 := Stats()
+	run(&mine, 7)
+	run(&other, 5) // concurrent unrelated grid: must not leak into mine
+	run(&mine, 3)
+	if s, d := mine.Stats(); s != 10 || d != 10 {
+		t.Errorf("mine = (%d, %d), want (10, 10)", s, d)
+	}
+	if s, d := other.Stats(); s != 5 || d != 5 {
+		t.Errorf("other = (%d, %d), want (5, 5)", s, d)
+	}
+	// The package-level view stays the process-wide aggregate.
+	if s1, d1 := Stats(); s1-s0 != 15 || d1-d0 != 15 {
+		t.Errorf("aggregate moved by (%d, %d), want (15, 15)", s1-s0, d1-d0)
+	}
+}
+
+// TestLeafBudgetCapsNestedGrids is the depth-aware scheduling contract:
+// an outer grid of panels, each fanning out its own leaf sub-grid, piles
+// up outer×inner workers, yet the number of concurrently *executing*
+// leaves — the only thing holding budget slots — never exceeds the
+// budget.
+func TestLeafBudgetCapsNestedGrids(t *testing.T) {
+	const budget = 3
+	SetLeafBudget(budget)
+	defer SetLeafBudget(0)
+	ResetLeafPeak()
+
+	leaf := func(ctx context.Context) (int64, error) {
+		release, err := AcquireLeaf(ctx)
+		if err != nil {
+			return 0, err
+		}
+		defer release()
+		busy, _ := LeafStats()
+		time.Sleep(time.Millisecond) // hold the slot long enough to overlap
+		return busy, nil
+	}
+	// 4 panels × 6 leaves with generous worker pools: up to 24 goroutines
+	// want to simulate at once.
+	got, err := Map(context.Background(), 4, 4, func(ctx context.Context, i int) (int64, error) {
+		inner, err := Map(ctx, 6, 6, func(ctx context.Context, j int) (int64, error) {
+			return leaf(ctx)
+		})
+		if err != nil {
+			return 0, err
+		}
+		m := int64(0)
+		for _, b := range inner {
+			m = max(m, b)
+		}
+		return m, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range got {
+		if b > budget {
+			t.Errorf("panel %d observed %d in-flight leaves, budget %d", i, b, budget)
+		}
+	}
+	if inFlight, peak := LeafStats(); inFlight != 0 || peak > budget {
+		t.Errorf("LeafStats = (%d, %d), want (0, <= %d)", inFlight, peak, budget)
+	}
+	if _, peak := LeafStats(); peak < 2 {
+		t.Errorf("peak %d: leaves never overlapped, the test proved nothing", peak)
+	}
+}
+
+// TestLeafBudgetOneNoDeadlock pins the no-deadlock argument: even a
+// budget of 1 under deep nesting completes, because panel jobs never
+// hold slots while waiting on their children (a naive per-level
+// semaphore would deadlock here immediately).
+func TestLeafBudgetOneNoDeadlock(t *testing.T) {
+	SetLeafBudget(1)
+	defer SetLeafBudget(0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(context.Background(), 8, 8, func(ctx context.Context, i int) (int, error) {
+			inner, err := Map(ctx, 4, 4, func(ctx context.Context, j int) (int, error) {
+				release, err := AcquireLeaf(ctx)
+				if err != nil {
+					return 0, err
+				}
+				defer release()
+				return i*10 + j, nil
+			})
+			if err != nil {
+				return 0, err
+			}
+			return len(inner), nil
+		})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("nested grids deadlocked under leaf budget 1")
+	}
+}
+
+func TestAcquireLeafHonorsCancellation(t *testing.T) {
+	SetLeafBudget(1)
+	defer SetLeafBudget(0)
+	release, err := AcquireLeaf(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := AcquireLeaf(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("blocked AcquireLeaf returned %v, want deadline exceeded", err)
+	}
+	release()
+	// The slot really was freed: a fresh acquire succeeds immediately.
+	release2, err := AcquireLeaf(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release2()
+}
+
+func TestAcquireLeafReleaseIdempotent(t *testing.T) {
+	SetLeafBudget(2)
+	defer SetLeafBudget(0)
+	release, err := AcquireLeaf(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	release()
+	release() // double release must not free a second slot or go negative
+	if busy, _ := LeafStats(); busy != 0 {
+		t.Fatalf("busy = %d after double release, want 0", busy)
+	}
+}
+
 func TestSeedDeterministicAndSpread(t *testing.T) {
 	if Seed(1, 0) != Seed(1, 0) {
 		t.Fatal("Seed not deterministic")

@@ -4,41 +4,73 @@ import (
 	"context"
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/dvfs"
-	"repro/internal/exp"
-	"repro/internal/noc"
-	"repro/internal/power"
-	"repro/internal/sim"
-	"repro/internal/traffic"
-	"repro/internal/volt"
+	"repro/nocsim"
 )
 
 // This file holds the ablation studies beyond the paper's figures,
 // supporting claims the paper makes in prose:
 //
-//   - AblationControlPeriod — Sec. IV claims 10 000 cycles "are
-//     sufficient" as a control update period: sweep the period and show
-//     the tracked delay is insensitive while overhead shrinks.
-//   - AblationGains — Sec. IV: the published gains are "a good compromise
-//     between stability and reactivity": sweep KI/KP around them.
-//   - AblationDiscreteLevels — footnote 2: results remain valid when the
-//     controller picks from discrete frequency levels.
-//   - AblationRouting — Sec. I claims insensitivity to micro-architectural
-//     variations: swap the routing algorithm (XY / YX / O1TURN).
-//   - PowerBreakdown — decompose the policies' power into switching,
-//     clock and leakage, explaining *where* the V²F savings come from.
+//   - "period" (AblationControlPeriod) — Sec. IV claims 10 000 cycles
+//     "are sufficient" as a control update period: sweep the period and
+//     show the tracked delay is insensitive while overhead shrinks.
+//   - "gains" (AblationGains) — Sec. IV: the published gains are "a good
+//     compromise between stability and reactivity": sweep KI/KP around
+//     them.
+//   - "levels" (AblationDiscreteLevels) — footnote 2: results remain
+//     valid when the controller picks from discrete frequency levels.
+//   - "routing" (AblationRouting) — Sec. I claims insensitivity to
+//     micro-architectural variations: swap the routing algorithm
+//     (XY / YX / O1TURN).
+//   - "breakdown" (PowerBreakdown) — decompose the policies' power into
+//     switching, clock and leakage, explaining *where* the V²F savings
+//     come from.
 //
-// Each study's grid points are independent runs (every point builds its
-// own controller and injector), so they fan out across the exp engine
-// under Options.Workers; rows are collected in grid order.
+// Like the figures, each study is planned as nocsim grids — one panel
+// per swept knob value, the knob carried in the panel's base scenario —
+// so an ablation is the same restartable manifest-of-jobs as a figure.
 
-// ablationScenario returns the baseline with the given load fraction of
-// saturation resolved against a fresh calibration.
-func ablationBase(ctx context.Context, o Options) (core.Scenario, core.Calibration, error) {
-	s := o.baseline()
-	cal, err := core.Calibrate(ctx, s)
-	return s, cal, err
+// calibrateBase measures the baseline calibration once for the studies
+// whose panels all share it.
+func (o *Options) calibrateBase(ctx context.Context) (nocsim.Scenario, nocsim.Calibration, error) {
+	base := o.baseScenario()
+	base.Workers = o.Workers
+	cal, err := nocsim.Calibrate(ctx, base)
+	base.Workers = 0
+	return base, cal, err
+}
+
+// singlePolicyGrid returns a one-load grid for the given policies with a
+// pinned calibration.
+func singlePolicyGrid(base nocsim.Scenario, cal nocsim.Calibration, load float64, policies ...nocsim.PolicyKind) nocsim.Grid {
+	base.Calibration = &cal
+	return nocsim.Grid{Base: base, Loads: []float64{load}, Policies: policies}
+}
+
+// ablationPeriods is the swept control-period ladder (node cycles).
+func ablationPeriods(quick bool) []int64 {
+	if quick {
+		return []int64{2000, 10000, 50000}
+	}
+	return []int64{1000, 2000, 5000, 10000, 20000, 50000}
+}
+
+func (o *Options) planPeriod(ctx context.Context) ([]Panel, error) {
+	base, cal, err := o.calibrateBase(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rate := 0.5 * cal.SaturationRate
+	var panels []Panel
+	for _, period := range ablationPeriods(o.Quick) {
+		b := base
+		b.ControlPeriod = period
+		panels = append(panels, Panel{
+			Label: fmt.Sprintf("p%d", period),
+			Grid:  singlePolicyGrid(b, cal, rate, nocsim.DMSD),
+		})
+	}
+	return panels, nil
 }
 
 // AblationControlPeriod sweeps the DMSD control update period and reports
@@ -46,11 +78,11 @@ func ablationBase(ctx context.Context, o Options) (core.Scenario, core.Calibrati
 // paper's claim holds when the tracked delay stays near the target across
 // periods spanning two orders of magnitude.
 func AblationControlPeriod(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
-	s, cal, err := ablationBase(ctx, o)
-	if err != nil {
-		return nil, err
-	}
+	return Tables(ctx, "period", o)
+}
+
+func renderPeriod(m *Manifest, results []nocsim.Result) []Table {
+	cal := *m.Panels[0].Grid.Base.Calibration
 	t := Table{
 		ID:      "abl_period",
 		Title:   "DMSD steady state vs control update period (load = 0.5 x saturation)",
@@ -58,50 +90,56 @@ func AblationControlPeriod(ctx context.Context, o Options) ([]Table, error) {
 		Notes: []string{calNote(cal),
 			"paper Sec. IV: 10 000 cycles at the highest frequency are sufficient"},
 	}
-	rate := 0.5 * cal.SaturationRate
-	periods := []int64{1000, 2000, 5000, 10000, 20000, 50000}
-	if o.Quick {
-		periods = []int64{2000, 10000, 50000}
+	for i, panel := range m.Panels {
+		res := results[i]
+		errPct := 100 * (res.AvgDelayNs - cal.TargetDelayNs) / cal.TargetDelayNs
+		t.AddRow(float64(panel.Grid.Base.ControlPeriod), res.AvgDelayNs, errPct, res.AvgPowerMW, res.AvgFreqHz/1e9)
 	}
-	rows, err := exp.Map(ctx, o.Workers, len(periods),
-		func(ctx context.Context, i int) ([]float64, error) {
-			period := periods[i]
-			pol, err := dvfs.NewDMSD(cal.TargetDelayNs, dvfs.DefaultRange())
-			if err != nil {
-				return nil, err
-			}
-			pol.WarmStart(equilibriumGuess(rate, cal))
-			p, err := buildParams(s, rate, pol)
-			if err != nil {
-				return nil, err
-			}
-			p.ControlPeriod = period
-			p.AdaptiveWarmup = true
-			res, err := sim.RunContext(ctx, p)
-			if err != nil {
-				return nil, err
-			}
-			errPct := 100 * (res.AvgDelayNs - cal.TargetDelayNs) / cal.TargetDelayNs
-			return []float64{float64(period), res.AvgDelayNs, errPct, res.AvgPowerMW, res.AvgFreqHz / 1e9}, nil
-		})
+	return []Table{t}
+}
+
+// ablationGains is the swept PI-gain ladder around the published values.
+func ablationGains(quick bool) []struct{ KI, KP float64 } {
+	gains := []struct{ KI, KP float64 }{
+		{0.005, 0.0025},
+		{0.0125, 0.00625},
+		{dvfs.DefaultKI, dvfs.DefaultKP},
+		{0.05, 0.025},
+		{0.1, 0.05},
+	}
+	if quick {
+		return gains[1:4]
+	}
+	return gains
+}
+
+func (o *Options) planGains(ctx context.Context) ([]Panel, error) {
+	base, cal, err := o.calibrateBase(ctx)
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range rows {
-		t.AddRow(row...)
+	rate := 0.5 * cal.SaturationRate
+	var panels []Panel
+	for _, g := range ablationGains(o.Quick) {
+		b := base
+		b.KI, b.KP = g.KI, g.KP
+		panels = append(panels, Panel{
+			Label: fmt.Sprintf("ki%g", g.KI),
+			Grid:  singlePolicyGrid(b, cal, rate, nocsim.DMSD),
+		})
 	}
-	return []Table{t}, nil
+	return panels, nil
 }
 
 // AblationGains sweeps the PI gains around the published values at a
 // fixed load, reporting settling behaviour (delay error) and the average
 // frequency. Unstable gain choices show up as large residual errors.
 func AblationGains(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
-	s, cal, err := ablationBase(ctx, o)
-	if err != nil {
-		return nil, err
-	}
+	return Tables(ctx, "gains", o)
+}
+
+func renderGains(m *Manifest, results []nocsim.Result) []Table {
+	cal := *m.Panels[0].Grid.Base.Calibration
 	t := Table{
 		ID:      "abl_gains",
 		Title:   "DMSD steady state vs PI gains (load = 0.5 x saturation)",
@@ -109,226 +147,141 @@ func AblationGains(ctx context.Context, o Options) ([]Table, error) {
 		Notes: []string{calNote(cal),
 			fmt.Sprintf("paper gains: KI=%.4g KP=%.4g", dvfs.DefaultKI, dvfs.DefaultKP)},
 	}
-	rate := 0.5 * cal.SaturationRate
-	gains := []struct{ ki, kp float64 }{
-		{0.005, 0.0025},
-		{0.0125, 0.00625},
-		{dvfs.DefaultKI, dvfs.DefaultKP},
-		{0.05, 0.025},
-		{0.1, 0.05},
+	for i, panel := range m.Panels {
+		res := results[i]
+		errPct := 100 * (res.AvgDelayNs - cal.TargetDelayNs) / cal.TargetDelayNs
+		t.AddRow(panel.Grid.Base.KI, panel.Grid.Base.KP, res.AvgDelayNs, errPct, res.AvgPowerMW)
 	}
-	if o.Quick {
-		gains = gains[1:4]
+	return []Table{t}
+}
+
+// ablationLevelCounts is the swept discrete-level ladder (0 means
+// continuous actuation).
+func ablationLevelCounts(quick bool) []int {
+	if quick {
+		return []int{0, 4}
 	}
-	rows, err := exp.Map(ctx, o.Workers, len(gains),
-		func(ctx context.Context, i int) ([]float64, error) {
-			g := gains[i]
-			pol, err := dvfs.NewDMSDGains(cal.TargetDelayNs, dvfs.DefaultRange(), g.ki, g.kp)
-			if err != nil {
-				return nil, err
-			}
-			pol.WarmStart(equilibriumGuess(rate, cal))
-			p, err := buildParams(s, rate, pol)
-			if err != nil {
-				return nil, err
-			}
-			p.AdaptiveWarmup = true
-			res, err := sim.RunContext(ctx, p)
-			if err != nil {
-				return nil, err
-			}
-			errPct := 100 * (res.AvgDelayNs - cal.TargetDelayNs) / cal.TargetDelayNs
-			return []float64{g.ki, g.kp, res.AvgDelayNs, errPct, res.AvgPowerMW}, nil
-		})
+	return []int{0, 3, 5, 9}
+}
+
+func (o *Options) planLevels(ctx context.Context) ([]Panel, error) {
+	base, cal, err := o.calibrateBase(ctx)
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range rows {
-		t.AddRow(row...)
+	rate := 0.5 * cal.SaturationRate
+	var panels []Panel
+	for _, n := range ablationLevelCounts(o.Quick) {
+		b := base
+		b.FreqLevels = n
+		panels = append(panels, Panel{
+			Label: fmt.Sprintf("l%d", n),
+			Grid:  singlePolicyGrid(b, cal, rate, nocsim.RMSD, nocsim.DMSD),
+		})
 	}
-	return []Table{t}, nil
+	return panels, nil
 }
 
 // AblationDiscreteLevels compares continuous actuation against discrete
 // frequency tables of a few sizes for both policies (paper footnote 2:
 // "the results remain valid in case of discrete values").
 func AblationDiscreteLevels(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
-	s, cal, err := ablationBase(ctx, o)
-	if err != nil {
-		return nil, err
-	}
+	return Tables(ctx, "levels", o)
+}
+
+func renderLevels(m *Manifest, results []nocsim.Result) []Table {
+	cal := *m.Panels[0].Grid.Base.Calibration
 	t := Table{
 		ID:      "abl_levels",
 		Title:   "Policies with discrete frequency levels (load = 0.5 x saturation)",
 		Columns: []string{"levels", "rmsd_delay_ns", "rmsd_power_mw", "dmsd_delay_ns", "dmsd_power_mw"},
 		Notes:   []string{calNote(cal), "levels=0 means continuous actuation"},
 	}
-	rate := 0.5 * cal.SaturationRate
-	vm := volt.New()
-	counts := []int{0, 3, 5, 9}
-	if o.Quick {
-		counts = []int{0, 4}
+	off := m.offsets()
+	for pi, panel := range m.Panels {
+		resR, resD := results[off[pi]], results[off[pi]+1] // policies: rmsd, dmsd
+		t.AddRow(float64(panel.Grid.Base.FreqLevels),
+			resR.AvgDelayNs, resR.AvgPowerMW, resD.AvgDelayNs, resD.AvgPowerMW)
 	}
-	rows, err := exp.Map(ctx, o.Workers, len(counts),
-		func(ctx context.Context, i int) ([]float64, error) {
-			n := counts[i]
-			rng := dvfs.DefaultRange()
-			if n > 0 {
-				levels, err := vm.Quantize(rng.FMin, rng.FMax, n)
-				if err != nil {
-					return nil, err
-				}
-				rng.Levels = &levels
-			}
-			fnode := s.FNode
-			if fnode == 0 {
-				fnode = 1e9
-			}
-			rmsd, err := dvfs.NewRMSD(fnode, cal.LambdaMax, rng)
-			if err != nil {
-				return nil, err
-			}
-			dmsd, err := dvfs.NewDMSD(cal.TargetDelayNs, rng)
-			if err != nil {
-				return nil, err
-			}
-			dmsd.WarmStart(equilibriumGuess(rate, cal))
-			pr, err := buildParams(s, rate, rmsd)
-			if err != nil {
-				return nil, err
-			}
-			resR, err := sim.RunContext(ctx, pr)
-			if err != nil {
-				return nil, err
-			}
-			pd, err := buildParams(s, rate, dmsd)
-			if err != nil {
-				return nil, err
-			}
-			pd.AdaptiveWarmup = true
-			resD, err := sim.RunContext(ctx, pd)
-			if err != nil {
-				return nil, err
-			}
-			return []float64{float64(n), resR.AvgDelayNs, resR.AvgPowerMW, resD.AvgDelayNs, resD.AvgPowerMW}, nil
-		})
-	if err != nil {
-		return nil, err
+	return []Table{t}
+}
+
+// ablationRoutings lists the compared routing algorithms; the table
+// encodes them by their ladder index.
+func ablationRoutings() []nocsim.Routing {
+	return []nocsim.Routing{nocsim.RoutingXY, nocsim.RoutingYX, nocsim.RoutingO1Turn}
+}
+
+func (o *Options) planRouting(ctx context.Context) ([]Panel, error) {
+	routings := ablationRoutings()
+	labels := make([]string, len(routings))
+	for i, r := range routings {
+		labels[i] = string(r)
 	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	return []Table{t}, nil
+	return o.planPanels(ctx, labels, func(ctx context.Context, i int) (nocsim.Grid, error) {
+		base := o.baseScenario()
+		base.Mesh.Routing = routings[i]
+		// Each routing calibrates itself: its saturation point is part of
+		// the study.
+		return o.resolveComparison(ctx, base, nocsim.AllPolicies(),
+			func(cal nocsim.Calibration) []float64 { return []float64{0.5 * cal.SaturationRate} })
+	})
 }
 
 // AblationRouting repeats the three-policy comparison under XY, YX and
 // O1TURN routing at half saturation, checking the conclusions do not hang
 // on the routing algorithm.
 func AblationRouting(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
+	return Tables(ctx, "routing", o)
+}
+
+func renderRouting(m *Manifest, results []nocsim.Result) []Table {
 	t := Table{
 		ID:      "abl_routing",
 		Title:   "Three policies under different routing algorithms (load = 0.5 x saturation)",
 		Columns: []string{"routing", "sat", "nodvfs_mw", "rmsd_mw", "rmsd_delay_ns", "dmsd_mw", "dmsd_delay_ns"},
 		Notes:   []string{"routing encoded as 0=xy 1=yx 2=o1turn"},
 	}
-	routings := []noc.Routing{noc.RoutingXY, noc.RoutingYX, noc.RoutingO1TURN}
-	rows, err := exp.Map(ctx, o.Workers, len(routings),
-		func(ctx context.Context, i int) ([]float64, error) {
-			r := routings[i]
-			s := o.baseline()
-			s.Noc.Routing = r
-			cal, err := core.Calibrate(ctx, s)
-			if err != nil {
-				return nil, fmt.Errorf("routing %v: %w", r, err)
-			}
-			rate := 0.5 * cal.SaturationRate
-			cmp, err := core.ComparePolicies(ctx, s, []float64{rate}, core.AllPolicies(), cal)
-			if err != nil {
-				return nil, fmt.Errorf("routing %v: %w", r, err)
-			}
-			n := cmp.Sweeps[core.NoDVFS].Points[0].Result
-			rm := cmp.Sweeps[core.RMSD].Points[0].Result
-			dm := cmp.Sweeps[core.DMSD].Points[0].Result
-			return []float64{float64(r), cal.SaturationRate, n.AvgPowerMW,
-				rm.AvgPowerMW, rm.AvgDelayNs, dm.AvgPowerMW, dm.AvgDelayNs}, nil
-		})
+	off := m.offsets()
+	for pi, panel := range m.Panels {
+		cal := *panel.Grid.Base.Calibration
+		rs := results[off[pi]:off[pi+1]] // policies: nodvfs, rmsd, dmsd
+		n, rm, dm := rs[0], rs[1], rs[2]
+		t.AddRow(float64(pi), cal.SaturationRate, n.AvgPowerMW,
+			rm.AvgPowerMW, rm.AvgDelayNs, dm.AvgPowerMW, dm.AvgDelayNs)
+	}
+	return []Table{t}
+}
+
+func (o *Options) planBreakdown(ctx context.Context) ([]Panel, error) {
+	base, cal, err := o.calibrateBase(ctx)
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	return []Table{t}, nil
+	rate := 0.5 * cal.SaturationRate
+	return []Panel{{
+		Label: "breakdown",
+		Grid:  singlePolicyGrid(base, cal, rate, nocsim.AllPolicies()...),
+	}}, nil
 }
 
 // PowerBreakdown decomposes each policy's power at a moderate load into
 // switching, clock-tree and leakage shares, showing where the V²F scaling
 // bites.
 func PowerBreakdown(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
-	s, cal, err := ablationBase(ctx, o)
-	if err != nil {
-		return nil, err
-	}
+	return Tables(ctx, "breakdown", o)
+}
+
+func renderBreakdown(m *Manifest, results []nocsim.Result) []Table {
+	cal := *m.Panels[0].Grid.Base.Calibration
 	t := Table{
 		ID:      "power_breakdown",
 		Title:   "Power breakdown by component (load = 0.5 x saturation)",
 		Columns: []string{"policy", "total_mw", "switching_mw", "clock_mw", "leakage_mw"},
 		Notes:   []string{calNote(cal), "policy encoded as 0=nodvfs 1=rmsd 2=dmsd"},
 	}
-	rate := 0.5 * cal.SaturationRate
-	kinds := core.AllPolicies()
-	rows, err := exp.Map(ctx, o.Workers, len(kinds),
-		func(ctx context.Context, i int) ([]float64, error) {
-			res, err := core.RunOne(ctx, s, kinds[i], rate, cal)
-			if err != nil {
-				return nil, err
-			}
-			return []float64{float64(i), res.AvgPowerMW, res.SwitchingMW, res.ClockMW, res.LeakageMW}, nil
-		})
-	if err != nil {
-		return nil, err
+	for i, res := range results {
+		t.AddRow(float64(i), res.AvgPowerMW, res.SwitchingMW, res.ClockMW, res.LeakageMW)
 	}
-	for _, row := range rows {
-		t.AddRow(row...)
-	}
-	return []Table{t}, nil
-}
-
-// equilibriumGuess estimates the DMSD steady-state frequency at the given
-// load: slightly above the RMSD law Fnode·λ/λmax (the frequency pinning
-// the network at λmax), since the DMSD setpoint sits just inside the
-// stable region. Warm-starting there removes the long cold-start descent
-// from FMax without biasing the steady state the ablations measure.
-func equilibriumGuess(rate float64, cal core.Calibration) float64 {
-	return 1.1 * 1e9 * rate / cal.LambdaMax
-}
-
-// buildParams assembles sim parameters for an ablation run on scenario s.
-func buildParams(s core.Scenario, load float64, pol dvfs.Policy) (sim.Params, error) {
-	pat, err := traffic.ByName(s.Pattern, s.Noc)
-	if err != nil {
-		return sim.Params{}, err
-	}
-	inj, err := traffic.NewInjector(s.Noc, pat, load, s.Seed)
-	if err != nil {
-		return sim.Params{}, err
-	}
-	pm := power.Default28nm()
-	fnode := s.FNode
-	if fnode == 0 {
-		fnode = 1e9
-	}
-	p := sim.Params{
-		Noc: s.Noc, Injector: inj, Policy: pol, VF: volt.New(), Power: &pm,
-		FNode: fnode,
-	}
-	if s.Quick {
-		p.Warmup = 8000
-		p.Measure = 20000
-		p.MaxWarmup = 150000
-	}
-	return p, nil
+	return []Table{t}
 }

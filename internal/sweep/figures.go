@@ -5,15 +5,10 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/apps"
-	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/exp"
-	"repro/internal/noc"
-	"repro/internal/power"
-	"repro/internal/sim"
-	"repro/internal/traffic"
 	"repro/internal/volt"
+	"repro/nocsim"
 )
 
 // Options tunes the figure generators.
@@ -26,9 +21,11 @@ type Options struct {
 	Points int
 	// Seed makes all runs reproducible (default 1).
 	Seed int64
-	// Workers bounds how many simulation points run concurrently across
-	// the figure generators (0 = GOMAXPROCS, 1 = serial). The tables are
-	// byte-identical for every value; see package exp.
+	// Workers bounds the per-grid worker pools (0 = GOMAXPROCS, 1 =
+	// serial). The process-wide number of concurrently executing
+	// simulations is additionally capped by exp.SetLeafBudget, so nested
+	// panels never multiply the bound. The tables are byte-identical for
+	// every value; see package exp.
 	Workers int
 }
 
@@ -45,51 +42,302 @@ func (o *Options) setDefaults() {
 	}
 }
 
-// baseline returns the paper's baseline scenario: uniform traffic on the
-// 5x5/8-VC/4-buffer/20-flit mesh.
-func (o *Options) baseline() core.Scenario {
-	return core.Scenario{
-		Noc:     noc.DefaultConfig(),
+// baseScenario returns the paper's baseline scenario: uniform traffic on
+// the 5x5/8-VC/4-buffer/20-flit mesh.
+func (o *Options) baseScenario() nocsim.Scenario {
+	return nocsim.Scenario{
+		Mesh:    nocsim.DefaultMesh(),
 		Pattern: "uniform",
 		Quick:   o.Quick,
 		Seed:    o.Seed,
-		Workers: o.Workers,
+	}.Normalized()
+}
+
+// Figures lists the manifest-backed figure identifiers Plan accepts, in
+// presentation order. Fig. 5 is analytic (no simulations) and stays
+// outside the manifest machinery; "baseline" is the shared three-policy
+// sweep that Figs. 2, 4, 6 and the summary table all present views of.
+func Figures() []string {
+	return []string{"baseline", "fig7", "fig8", "fig10", "pi",
+		"period", "gains", "levels", "routing", "breakdown"}
+}
+
+// Plan builds the resolved-grid manifest of one figure: it runs the
+// calibrations the figure needs (fanning independent panels across the
+// worker pool) and pins them into the panels' grids, so every point of
+// the returned manifest is a self-contained, restartable job. Plan is
+// the only part of a figure run that is not resumable; it is also the
+// cheap part (a calibration per panel at most).
+func Plan(ctx context.Context, fig string, o Options) (*Manifest, error) {
+	o.setDefaults()
+	var panels []Panel
+	var err error
+	switch fig {
+	case "baseline":
+		panels, err = o.planBaseline(ctx)
+	case "fig7":
+		panels, err = o.planFig7(ctx)
+	case "fig8":
+		panels, err = o.planFig8(ctx)
+	case "fig10":
+		panels, err = o.planFig10(ctx)
+	case "pi":
+		panels, err = o.planPI(ctx)
+	case "period":
+		panels, err = o.planPeriod(ctx)
+	case "gains":
+		panels, err = o.planGains(ctx)
+	case "levels":
+		panels, err = o.planLevels(ctx)
+	case "routing":
+		panels, err = o.planRouting(ctx)
+	case "breakdown":
+		panels, err = o.planBreakdown(ctx)
+	default:
+		return nil, fmt.Errorf("sweep: unknown figure %q (want one of %v)", fig, Figures())
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Manifest{Fig: fig, Quick: o.Quick, Points: o.Points, Seed: o.Seed, Panels: panels}, nil
+}
+
+// Render assembles a completed manifest's results (in point order) into
+// the figure's tables.
+func Render(m *Manifest, results []nocsim.Result) ([]Table, error) {
+	if n := m.NumPoints(); len(results) != n {
+		return nil, fmt.Errorf("sweep: rendering %s: %d results for %d points", m.Fig, len(results), n)
+	}
+	switch m.Fig {
+	case "baseline":
+		var tables []Table
+		tables = append(tables, renderFig2(m, results)...)
+		tables = append(tables, renderFig4(m, results)...)
+		tables = append(tables, renderFig6(m, results)...)
+		tables = append(tables, renderSummary(m, results)...)
+		return tables, nil
+	case "fig7", "fig8", "fig10":
+		return renderComparison(m, results), nil
+	case "pi":
+		return renderPI(m, results), nil
+	case "period":
+		return renderPeriod(m, results), nil
+	case "gains":
+		return renderGains(m, results), nil
+	case "levels":
+		return renderLevels(m, results), nil
+	case "routing":
+		return renderRouting(m, results), nil
+	case "breakdown":
+		return renderBreakdown(m, results), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown figure %q", m.Fig)
 	}
 }
 
-// Bundle is the shared baseline comparison behind Figs. 2, 4 and 6: the
-// same scenario measured under all three policies over one rate grid.
+// Tables plans, runs and renders one figure in memory — the
+// non-persistent convenience behind the per-figure helpers.
+func Tables(ctx context.Context, fig string, o Options) ([]Table, error) {
+	tables, _, err := Generate(ctx, fig, o, nil, false, 0)
+	return tables, err
+}
+
+// resolveComparison resolves one three-policy grid: calibrate the base
+// scenario, pin the calibration, and lay the load axis as the given
+// fraction ladder of the measured saturation rate. The planning worker
+// bound is applied for the calibration only and stripped from the stored
+// grid, keeping manifests host-independent.
+func (o *Options) resolveComparison(ctx context.Context, base nocsim.Scenario, policies []nocsim.PolicyKind, loads func(cal nocsim.Calibration) []float64) (nocsim.Grid, error) {
+	base.Workers = o.Workers
+	g, err := nocsim.Grid{Base: base, Policies: policies}.Resolve(ctx)
+	if err != nil {
+		return nocsim.Grid{}, err
+	}
+	g.Base.Workers = 0
+	g.Loads = loads(*g.Base.Calibration)
+	return g, nil
+}
+
+// planPanels builds the named panels concurrently: each panel's
+// calibration is an independent sub-grid, and the panel jobs themselves
+// never hold leaf-budget slots, so however many run at once the
+// simulations below them stay capped.
+func (o *Options) planPanels(ctx context.Context, labels []string, build func(ctx context.Context, i int) (nocsim.Grid, error)) ([]Panel, error) {
+	grids, err := exp.Map(ctx, o.Workers, len(labels),
+		func(ctx context.Context, i int) (nocsim.Grid, error) {
+			g, err := build(ctx, i)
+			if err != nil {
+				return nocsim.Grid{}, fmt.Errorf("panel %s: %w", labels[i], err)
+			}
+			return g, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	panels := make([]Panel, len(labels))
+	for i := range labels {
+		panels[i] = Panel{Label: labels[i], Grid: grids[i]}
+	}
+	return panels, nil
+}
+
+// nearSaturationLoads is the standard comparison axis: Points loads up
+// to 90% of the measured saturation rate.
+func (o *Options) nearSaturationLoads(cal nocsim.Calibration) []float64 {
+	return nocsim.LoadGrid(0.9*cal.SaturationRate, o.Points)
+}
+
+func (o *Options) planBaseline(ctx context.Context) ([]Panel, error) {
+	g, err := o.resolveComparison(ctx, o.baseScenario(), nocsim.AllPolicies(), o.nearSaturationLoads)
+	if err != nil {
+		return nil, err
+	}
+	return []Panel{{Label: "uniform", Grid: g}}, nil
+}
+
+func (o *Options) planFig7(ctx context.Context) ([]Panel, error) {
+	patterns := nocsim.PaperPatterns()
+	return o.planPanels(ctx, patterns, func(ctx context.Context, i int) (nocsim.Grid, error) {
+		base := o.baseScenario()
+		base.Pattern = patterns[i]
+		return o.resolveComparison(ctx, base, nocsim.AllPolicies(), o.nearSaturationLoads)
+	})
+}
+
+// fig8Variants is the sensitivity study's variant ladder: the number of
+// VCs, buffers per VC, packet size, and mesh size, each around the
+// baseline (Fig. 8).
+func fig8Variants() (labels []string, mutate []func(*nocsim.Mesh)) {
+	type variant struct {
+		label string
+		fn    func(*nocsim.Mesh)
+	}
+	all := []variant{
+		{"vc2", func(m *nocsim.Mesh) { m.VCs = 2 }},
+		{"vc4", func(m *nocsim.Mesh) { m.VCs = 4 }},
+		{"vc8", func(m *nocsim.Mesh) { m.VCs = 8 }},
+		{"buf4", func(m *nocsim.Mesh) { m.BufDepth = 4 }},
+		{"buf8", func(m *nocsim.Mesh) { m.BufDepth = 8 }},
+		{"buf16", func(m *nocsim.Mesh) { m.BufDepth = 16 }},
+		{"pkt10", func(m *nocsim.Mesh) { m.PacketSize = 10 }},
+		{"pkt15", func(m *nocsim.Mesh) { m.PacketSize = 15 }},
+		{"pkt20", func(m *nocsim.Mesh) { m.PacketSize = 20 }},
+		{"mesh4x4", func(m *nocsim.Mesh) { m.Width, m.Height = 4, 4 }},
+		{"mesh5x5", func(m *nocsim.Mesh) { m.Width, m.Height = 5, 5 }},
+		{"mesh8x8", func(m *nocsim.Mesh) { m.Width, m.Height = 8, 8 }},
+	}
+	for _, v := range all {
+		labels = append(labels, v.label)
+		mutate = append(mutate, v.fn)
+	}
+	return labels, mutate
+}
+
+func (o *Options) planFig8(ctx context.Context) ([]Panel, error) {
+	labels, mutate := fig8Variants()
+	return o.planPanels(ctx, labels, func(ctx context.Context, i int) (nocsim.Grid, error) {
+		base := o.baseScenario()
+		mutate[i](&base.Mesh)
+		return o.resolveComparison(ctx, base, nocsim.AllPolicies(), o.nearSaturationLoads)
+	})
+}
+
+func (o *Options) planFig10(ctx context.Context) ([]Panel, error) {
+	apps := nocsim.Apps()
+	labels := make([]string, len(apps))
+	for i, a := range apps {
+		labels[i] = a.Name
+	}
+	return o.planPanels(ctx, labels, func(ctx context.Context, i int) (nocsim.Grid, error) {
+		base := nocsim.Scenario{
+			App:   apps[i].Name,
+			Quick: o.Quick,
+			Seed:  o.Seed,
+		}.Normalized() // sizes the mesh to the app's mapping
+		return o.resolveComparison(ctx, base, nocsim.AllPolicies(),
+			func(nocsim.Calibration) []float64 {
+				return nocsim.LoadGrid(1.0, o.Points) // speeds up to 1.0 ≡ 75 f/s
+			})
+	})
+}
+
+func (o *Options) planPI(ctx context.Context) ([]Panel, error) {
+	base := o.baseScenario()
+	base.Transient = true
+	// Pin the paper's period explicitly: the transient's sample cadence
+	// is part of the figure, so quick mode must not shorten it.
+	base.ControlPeriod = dvfs.ControlPeriodNodeCycles
+	g, err := o.resolveComparison(ctx, base, []nocsim.PolicyKind{nocsim.DMSD},
+		func(cal nocsim.Calibration) []float64 { return []float64{0.5 * cal.SaturationRate} })
+	if err != nil {
+		return nil, err
+	}
+	return []Panel{{Label: "pi", Grid: g}}, nil
+}
+
+// Bundle is the shared baseline study behind Figs. 2, 4 and 6: the same
+// scenario measured under all three policies over one rate grid, in
+// manifest form.
 type Bundle struct {
-	Comparison core.Comparison
-	Options    Options
+	Manifest *Manifest
+	Results  []nocsim.Result
+	Options  Options
 }
 
 // BaselineBundle computes (once) the three-policy sweep on the baseline
 // scenario that Figs. 2, 4 and 6 all present views of.
 func BaselineBundle(ctx context.Context, o Options) (*Bundle, error) {
 	o.setDefaults()
-	s := o.baseline()
-	cal, err := core.Calibrate(ctx, s)
+	m, err := Plan(ctx, "baseline", o)
 	if err != nil {
 		return nil, err
 	}
-	grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
-	cmp, err := core.ComparePolicies(ctx, s, grid, core.AllPolicies(), cal)
+	results, _, err := RunManifest(ctx, m, o.Workers, nil, nil, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &Bundle{Comparison: cmp, Options: o}, nil
+	return &Bundle{Manifest: m, Results: results, Options: o}, nil
 }
 
-func calNote(cal core.Calibration) string {
+// Grid returns the bundle's single comparison grid (calibration pinned,
+// policies outer × loads inner).
+func (b *Bundle) Grid() nocsim.Grid { return b.Manifest.Panels[0].Grid }
+
+// Curve returns the bundle's measured results for one policy, in load
+// order.
+func (b *Bundle) Curve(k nocsim.PolicyKind) []nocsim.Result {
+	g := b.Grid()
+	for i, p := range g.Policies {
+		if p == k {
+			return curves(g, b.Results)[i]
+		}
+	}
+	return nil
+}
+
+// curves splits a comparison grid's results into one slice per policy,
+// in the grid's policy order (policies are the outer grid dimension).
+func curves(g nocsim.Grid, results []nocsim.Result) [][]nocsim.Result {
+	np := max(1, len(g.Loads))
+	out := make([][]nocsim.Result, max(1, len(g.Policies)))
+	for i := range out {
+		out[i] = results[i*np : (i+1)*np]
+	}
+	return out
+}
+
+func calNote(cal nocsim.Calibration) string {
 	return fmt.Sprintf("calibration: saturation=%.3f λmax=%.3f target=%.1f ns",
 		cal.SaturationRate, cal.LambdaMax, cal.TargetDelayNs)
 }
 
 // Fig2 renders Fig. 2: No-DVFS vs RMSD latency in cycles (a) and delay in
 // ns (b) against injection rate, exposing the non-monotonic RMSD delay.
-func Fig2(b *Bundle) []Table {
-	cal := b.Comparison.Calibration
+func Fig2(b *Bundle) []Table { return renderFig2(b.Manifest, b.Results) }
+
+func renderFig2(m *Manifest, results []nocsim.Result) []Table {
+	g := m.Panels[0].Grid
+	cal := *g.Base.Calibration
 	lat := Table{
 		ID:      "fig2a",
 		Title:   "NoC latency (network clock cycles) vs injection rate, uniform 5x5",
@@ -103,19 +351,22 @@ func Fig2(b *Bundle) []Table {
 		Notes: []string{calNote(cal),
 			"paper: RMSD delay non-monotonic, peak near λmin ≈ " + fmt.Sprintf("%.3f", cal.LambdaMax/3)},
 	}
-	no := b.Comparison.Sweeps[core.NoDVFS].Points
-	rm := b.Comparison.Sweeps[core.RMSD].Points
-	for i := range no {
-		lat.AddRow(no[i].Load, no[i].Result.AvgLatencyCycles, rm[i].Result.AvgLatencyCycles)
-		del.AddRow(no[i].Load, no[i].Result.AvgDelayNs, rm[i].Result.AvgDelayNs)
+	cs := curves(g, results)
+	no, rm := cs[0], cs[1]
+	for i, load := range g.Loads {
+		lat.AddRow(load, no[i].AvgLatencyCycles, rm[i].AvgLatencyCycles)
+		del.AddRow(load, no[i].AvgDelayNs, rm[i].AvgDelayNs)
 	}
 	return []Table{lat, del}
 }
 
 // Fig4 renders Fig. 4: network clock frequency (a) and delay (b) for all
 // three policies.
-func Fig4(b *Bundle) []Table {
-	cal := b.Comparison.Calibration
+func Fig4(b *Bundle) []Table { return renderFig4(b.Manifest, b.Results) }
+
+func renderFig4(m *Manifest, results []nocsim.Result) []Table {
+	g := m.Panels[0].Grid
+	cal := *g.Base.Calibration
 	freq := Table{
 		ID:      "fig4a",
 		Title:   "Network clock frequency (GHz) vs injection rate",
@@ -128,12 +379,11 @@ func Fig4(b *Bundle) []Table {
 		Columns: []string{"rate", "nodvfs_delay_ns", "rmsd_delay_ns", "dmsd_delay_ns"},
 		Notes:   []string{calNote(cal), "paper: DMSD flat at the target delay; RMSD up to ~1.9x above"},
 	}
-	no := b.Comparison.Sweeps[core.NoDVFS].Points
-	rm := b.Comparison.Sweeps[core.RMSD].Points
-	dm := b.Comparison.Sweeps[core.DMSD].Points
-	for i := range no {
-		freq.AddRow(no[i].Load, no[i].Result.AvgFreqHz/1e9, rm[i].Result.AvgFreqHz/1e9, dm[i].Result.AvgFreqHz/1e9)
-		del.AddRow(no[i].Load, no[i].Result.AvgDelayNs, rm[i].Result.AvgDelayNs, dm[i].Result.AvgDelayNs)
+	cs := curves(g, results)
+	no, rm, dm := cs[0], cs[1], cs[2]
+	for i, load := range g.Loads {
+		freq.AddRow(load, no[i].AvgFreqHz/1e9, rm[i].AvgFreqHz/1e9, dm[i].AvgFreqHz/1e9)
+		del.AddRow(load, no[i].AvgDelayNs, rm[i].AvgDelayNs, dm[i].AvgDelayNs)
 	}
 	return []Table{freq, del}
 }
@@ -161,186 +411,122 @@ func Fig5(o Options) []Table {
 
 // Fig6 renders total network power vs injection rate for the three
 // policies, with the paper's annotated ratios recomputed at 0.2.
-func Fig6(b *Bundle) []Table {
-	cal := b.Comparison.Calibration
+func Fig6(b *Bundle) []Table { return renderFig6(b.Manifest, b.Results) }
+
+func renderFig6(m *Manifest, results []nocsim.Result) []Table {
+	g := m.Panels[0].Grid
+	cal := *g.Base.Calibration
 	t := Table{
 		ID:      "fig6",
 		Title:   "Network power (mW) vs injection rate, three policies",
 		Columns: []string{"rate", "nodvfs_mw", "rmsd_mw", "dmsd_mw"},
 		Notes:   []string{calNote(cal), "paper at rate 0.2: No-DVFS/RMSD ≈ 2.2x, DMSD/RMSD ≈ 1.3x"},
 	}
-	no := b.Comparison.Sweeps[core.NoDVFS].Points
-	rm := b.Comparison.Sweeps[core.RMSD].Points
-	dm := b.Comparison.Sweeps[core.DMSD].Points
-	for i := range no {
-		t.AddRow(no[i].Load, no[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW, dm[i].Result.AvgPowerMW)
+	cs := curves(g, results)
+	no, rm, dm := cs[0], cs[1], cs[2]
+	for i, load := range g.Loads {
+		t.AddRow(load, no[i].AvgPowerMW, rm[i].AvgPowerMW, dm[i].AvgPowerMW)
 	}
-	if i := nearestIdx(no, 0.2); i >= 0 {
+	if i := nearestIdx(g.Loads, 0.2); i >= 0 {
 		t.Notes = append(t.Notes, fmt.Sprintf("measured at rate %.2f: No-DVFS/RMSD = %.2fx, DMSD/RMSD = %.2fx",
-			no[i].Load,
-			ratio(no[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW),
-			ratio(dm[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW)))
+			g.Loads[i],
+			ratio(no[i].AvgPowerMW, rm[i].AvgPowerMW),
+			ratio(dm[i].AvgPowerMW, rm[i].AvgPowerMW)))
+	}
+	return []Table{t}
+}
+
+// Summary recomputes the paper's headline numbers (Sec. I/VII): the power
+// saving of each policy vs No-DVFS, the extra power of DMSD vs RMSD, and
+// the delay ratio RMSD/DMSD, at a set of reference loads on the baseline
+// scenario.
+func Summary(b *Bundle) []Table { return renderSummary(b.Manifest, b.Results) }
+
+func renderSummary(m *Manifest, results []nocsim.Result) []Table {
+	g := m.Panels[0].Grid
+	t := Table{
+		ID:    "summary",
+		Title: "Headline power-delay trade-off (baseline uniform 5x5)",
+		Columns: []string{"rate", "rmsd_power_saving_pct", "dmsd_power_saving_pct",
+			"dmsd_extra_power_pct", "rmsd_delay_ratio"},
+		Notes: []string{
+			calNote(*g.Base.Calibration),
+			"paper: RMSD saves 20-50% more power than DMSD; DMSD cuts delay up to ~3x",
+		},
+	}
+	cs := curves(g, results)
+	no, rm, dm := cs[0], cs[1], cs[2]
+	for i, load := range g.Loads {
+		pn, pr, pd := no[i].AvgPowerMW, rm[i].AvgPowerMW, dm[i].AvgPowerMW
+		t.AddRow(load,
+			100*(1-pr/pn),
+			100*(1-pd/pn),
+			100*(pd/pr-1),
+			ratio(rm[i].AvgDelayNs, dm[i].AvgDelayNs))
 	}
 	return []Table{t}
 }
 
 // Fig7 renders the four synthetic-pattern panels: delay and power vs
 // injection rate under tornado, bit-complement, transpose and neighbor.
-// The four panels are independent studies and run concurrently.
-func Fig7(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
-	patterns := traffic.PaperPatterns()
-	panels, err := exp.Map(ctx, o.Workers, len(patterns),
-		func(ctx context.Context, i int) ([]Table, error) {
-			pattern := patterns[i]
-			s := o.baseline()
-			s.Pattern = pattern
-			cal, err := core.Calibrate(ctx, s)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
-			}
-			grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
-			cmp, err := core.ComparePolicies(ctx, s, grid, core.AllPolicies(), cal)
-			if err != nil {
-				return nil, fmt.Errorf("fig7 %s: %w", pattern, err)
-			}
-			return comparisonTables("fig7", pattern, cmp), nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	return flatten(panels), nil
-}
+func Fig7(ctx context.Context, o Options) ([]Table, error) { return Tables(ctx, "fig7", o) }
 
 // Fig8 renders the sensitivity study: delay and power when varying the
-// number of VCs, buffers per VC, packet size, and mesh size, under uniform
-// traffic. The twelve variants are independent studies and run
-// concurrently.
-func Fig8(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
-	type variant struct {
-		label  string
-		mutate func(*noc.Config)
-	}
-	dims := []struct {
-		name     string
-		variants []variant
-	}{
-		{"vcs", []variant{
-			{"vc2", func(c *noc.Config) { c.VCs = 2 }},
-			{"vc4", func(c *noc.Config) { c.VCs = 4 }},
-			{"vc8", func(c *noc.Config) { c.VCs = 8 }},
-		}},
-		{"buffers", []variant{
-			{"buf4", func(c *noc.Config) { c.BufDepth = 4 }},
-			{"buf8", func(c *noc.Config) { c.BufDepth = 8 }},
-			{"buf16", func(c *noc.Config) { c.BufDepth = 16 }},
-		}},
-		{"packet", []variant{
-			{"pkt10", func(c *noc.Config) { c.PacketSize = 10 }},
-			{"pkt15", func(c *noc.Config) { c.PacketSize = 15 }},
-			{"pkt20", func(c *noc.Config) { c.PacketSize = 20 }},
-		}},
-		{"mesh", []variant{
-			{"mesh4x4", func(c *noc.Config) { c.Width, c.Height = 4, 4 }},
-			{"mesh5x5", func(c *noc.Config) { c.Width, c.Height = 5, 5 }},
-			{"mesh8x8", func(c *noc.Config) { c.Width, c.Height = 8, 8 }},
-		}},
-	}
-	var flat []variant
-	for _, dim := range dims {
-		flat = append(flat, dim.variants...)
-	}
-	panels, err := exp.Map(ctx, o.Workers, len(flat),
-		func(ctx context.Context, i int) ([]Table, error) {
-			v := flat[i]
-			s := o.baseline()
-			v.mutate(&s.Noc)
-			cal, err := core.Calibrate(ctx, s)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s: %w", v.label, err)
-			}
-			grid := core.LoadGrid(0.9*cal.SaturationRate, o.Points)
-			cmp, err := core.ComparePolicies(ctx, s, grid, core.AllPolicies(), cal)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s: %w", v.label, err)
-			}
-			return comparisonTables("fig8", v.label, cmp), nil
-		})
-	if err != nil {
-		return nil, err
-	}
-	return flatten(panels), nil
-}
+// number of VCs, buffers per VC, packet size, and mesh size, under
+// uniform traffic.
+func Fig8(ctx context.Context, o Options) ([]Table, error) { return Tables(ctx, "fig8", o) }
 
 // Fig10 renders the multimedia panels: delay and power vs application
-// speed for the H.264 encoder (4x4) and the VCE (5x5). The two workloads
-// run concurrently.
-func Fig10(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
-	workloads := apps.Apps()
-	panels, err := exp.Map(ctx, o.Workers, len(workloads),
-		func(ctx context.Context, i int) ([]Table, error) {
-			app := workloads[i]
-			s := core.Scenario{
-				Noc:     noc.DefaultConfig(),
-				App:     &app,
-				Quick:   o.Quick,
-				Seed:    o.Seed,
-				Workers: o.Workers,
-			}
-			s.Noc.Width, s.Noc.Height = app.Width, app.Height
-			cal, err := core.Calibrate(ctx, s)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
-			}
-			grid := core.LoadGrid(1.0, o.Points) // speeds up to 1.0 ≡ 75 f/s
-			cmp, err := core.ComparePolicies(ctx, s, grid, core.AllPolicies(), cal)
-			if err != nil {
-				return nil, fmt.Errorf("fig10 %s: %w", app.Name, err)
-			}
-			ts := comparisonTables("fig10", app.Name, cmp)
+// speed for the H.264 encoder (4x4) and the VCE (5x5).
+func Fig10(ctx context.Context, o Options) ([]Table, error) { return Tables(ctx, "fig10", o) }
+
+// renderComparison renders a comparison figure (fig7/fig8/fig10): one
+// delay table and one power table per panel.
+func renderComparison(m *Manifest, results []nocsim.Result) []Table {
+	off := m.offsets()
+	var tables []Table
+	for pi, panel := range m.Panels {
+		ts := comparisonTables(m.Fig, panel.Label, panel.Grid, results[off[pi]:off[pi+1]])
+		if m.Fig == "fig10" {
 			for i := range ts {
 				ts[i].Columns[0] = "speed"
 				ts[i].Notes = append(ts[i].Notes, "speed 1.0 ≡ 75 frames/s in the paper's normalization")
 			}
-			return ts, nil
-		})
-	if err != nil {
-		return nil, err
+		}
+		tables = append(tables, ts...)
 	}
-	return flatten(panels), nil
+	return tables
 }
 
-// comparisonTables converts one Comparison into a delay table and a power
-// table, with the paper-style ratio annotations computed mid-grid.
-func comparisonTables(figID, label string, cmp core.Comparison) []Table {
+// comparisonTables converts one three-policy panel into a delay table and
+// a power table, with the paper-style ratio annotations computed mid-grid.
+func comparisonTables(figID, label string, g nocsim.Grid, results []nocsim.Result) []Table {
+	cal := *g.Base.Calibration
 	del := Table{
 		ID:      figID + "_" + label + "_delay",
 		Title:   fmt.Sprintf("Packet delay (ns) vs load, %s", label),
 		Columns: []string{"rate", "nodvfs_delay_ns", "rmsd_delay_ns", "dmsd_delay_ns"},
-		Notes:   []string{calNote(cmp.Calibration)},
+		Notes:   []string{calNote(cal)},
 	}
 	pow := Table{
 		ID:      figID + "_" + label + "_power",
 		Title:   fmt.Sprintf("Network power (mW) vs load, %s", label),
 		Columns: []string{"rate", "nodvfs_mw", "rmsd_mw", "dmsd_mw"},
-		Notes:   []string{calNote(cmp.Calibration)},
+		Notes:   []string{calNote(cal)},
 	}
-	no := cmp.Sweeps[core.NoDVFS].Points
-	rm := cmp.Sweeps[core.RMSD].Points
-	dm := cmp.Sweeps[core.DMSD].Points
-	for i := range no {
-		del.AddRow(no[i].Load, no[i].Result.AvgDelayNs, rm[i].Result.AvgDelayNs, dm[i].Result.AvgDelayNs)
-		pow.AddRow(no[i].Load, no[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW, dm[i].Result.AvgPowerMW)
+	cs := curves(g, results)
+	no, rm, dm := cs[0], cs[1], cs[2]
+	for i, load := range g.Loads {
+		del.AddRow(load, no[i].AvgDelayNs, rm[i].AvgDelayNs, dm[i].AvgDelayNs)
+		pow.AddRow(load, no[i].AvgPowerMW, rm[i].AvgPowerMW, dm[i].AvgPowerMW)
 	}
-	if mid := len(no) / 2; mid < len(no) {
+	if mid := len(g.Loads) / 2; mid < len(g.Loads) {
 		del.Notes = append(del.Notes, fmt.Sprintf("delay ratio RMSD/DMSD at load %.3g: %.2fx",
-			no[mid].Load, ratio(rm[mid].Result.AvgDelayNs, dm[mid].Result.AvgDelayNs)))
+			g.Loads[mid], ratio(rm[mid].AvgDelayNs, dm[mid].AvgDelayNs)))
 		pow.Notes = append(pow.Notes, fmt.Sprintf("power ratios at load %.3g: No-DVFS/RMSD %.2fx, DMSD/RMSD %.2fx",
-			no[mid].Load,
-			ratio(no[mid].Result.AvgPowerMW, rm[mid].Result.AvgPowerMW),
-			ratio(dm[mid].Result.AvgPowerMW, rm[mid].Result.AvgPowerMW)))
+			g.Loads[mid],
+			ratio(no[mid].AvgPowerMW, rm[mid].AvgPowerMW),
+			ratio(dm[mid].AvgPowerMW, rm[mid].AvgPowerMW)))
 	}
 	return []Table{del, pow}
 }
@@ -348,90 +534,30 @@ func comparisonTables(figID, label string, cmp core.Comparison) []Table {
 // PIStep renders the DMSD transient: the frequency and window-delay trace
 // of the PI loop from cold start (FMax) at a fixed load, supporting the
 // paper's stability and control-period claims (Sec. IV).
-func PIStep(ctx context.Context, o Options) ([]Table, error) {
-	o.setDefaults()
-	s := o.baseline()
-	cal, err := core.Calibrate(ctx, s)
-	if err != nil {
-		return nil, err
-	}
-	pol, err := dvfs.NewDMSD(cal.TargetDelayNs, dvfs.DefaultRange())
-	if err != nil {
-		return nil, err
-	}
-	inj, err := traffic.NewInjector(s.Noc, traffic.NewUniform(s.Noc), 0.5*cal.SaturationRate, o.Seed)
-	if err != nil {
-		return nil, err
-	}
-	pm := power.Default28nm()
-	params := sim.Params{
-		Noc: s.Noc, Injector: inj, Policy: pol, VF: volt.New(), Power: &pm,
-		Warmup: 1000, Measure: 400000, TraceFreq: true,
-	}
-	if o.Quick {
-		params.Measure = 100000
-	}
-	res, err := sim.RunContext(ctx, params)
-	if err != nil {
-		return nil, err
-	}
+func PIStep(ctx context.Context, o Options) ([]Table, error) { return Tables(ctx, "pi", o) }
+
+func renderPI(m *Manifest, results []nocsim.Result) []Table {
+	g := m.Panels[0].Grid
+	res := results[0]
 	t := Table{
 		ID:      "pi_step",
 		Title:   "DMSD PI transient from cold start (load = 0.5 x saturation)",
 		Columns: []string{"time_us", "freq_ghz", "window_delay_ns"},
-		Notes: []string{calNote(cal),
+		Notes: []string{calNote(*g.Base.Calibration),
 			fmt.Sprintf("gains KI=%.4g KP=%.4g, control period %d node cycles",
-				dvfs.DefaultKI, dvfs.DefaultKP, dvfs.ControlPeriodNodeCycles)},
+				dvfs.DefaultKI, dvfs.DefaultKP, g.Base.ControlPeriod)},
 	}
 	for _, sm := range res.Trace {
 		t.AddRow(sm.TimeNs/1e3, sm.FreqHz/1e9, sm.DelayNs)
 	}
-	return []Table{t}, nil
-}
-
-// Summary recomputes the paper's headline numbers (Sec. I/VII): the power
-// saving of each policy vs No-DVFS, the extra power of DMSD vs RMSD, and
-// the delay ratio RMSD/DMSD, at a set of reference loads on the baseline
-// scenario.
-func Summary(b *Bundle) []Table {
-	t := Table{
-		ID:    "summary",
-		Title: "Headline power-delay trade-off (baseline uniform 5x5)",
-		Columns: []string{"rate", "rmsd_power_saving_pct", "dmsd_power_saving_pct",
-			"dmsd_extra_power_pct", "rmsd_delay_ratio"},
-		Notes: []string{
-			calNote(b.Comparison.Calibration),
-			"paper: RMSD saves 20-50% more power than DMSD; DMSD cuts delay up to ~3x",
-		},
-	}
-	no := b.Comparison.Sweeps[core.NoDVFS].Points
-	rm := b.Comparison.Sweeps[core.RMSD].Points
-	dm := b.Comparison.Sweeps[core.DMSD].Points
-	for i := range no {
-		pn, pr, pd := no[i].Result.AvgPowerMW, rm[i].Result.AvgPowerMW, dm[i].Result.AvgPowerMW
-		t.AddRow(no[i].Load,
-			100*(1-pr/pn),
-			100*(1-pd/pn),
-			100*(pd/pr-1),
-			ratio(rm[i].Result.AvgDelayNs, dm[i].Result.AvgDelayNs))
-	}
 	return []Table{t}
 }
 
-// flatten concatenates per-panel table slices in panel order.
-func flatten(panels [][]Table) []Table {
-	var tables []Table
-	for _, p := range panels {
-		tables = append(tables, p...)
-	}
-	return tables
-}
-
-// nearestIdx returns the index of the point whose load is closest to x.
-func nearestIdx(pts []core.Point, x float64) int {
+// nearestIdx returns the index of the load closest to x.
+func nearestIdx(loads []float64, x float64) int {
 	best, bd := -1, math.Inf(1)
-	for i, p := range pts {
-		if d := math.Abs(p.Load - x); d < bd {
+	for i, l := range loads {
+		if d := math.Abs(l - x); d < bd {
 			best, bd = i, d
 		}
 	}

@@ -3,8 +3,6 @@ package sweep
 import (
 	"context"
 	"testing"
-
-	"repro/internal/core"
 )
 
 // bundle is computed once and shared by the figure tests (Figs. 2/4/6 are
@@ -116,7 +114,7 @@ func TestSummaryTable(t *testing.T) {
 
 func TestComparisonTablesHelper(t *testing.T) {
 	b := getBundle(t)
-	tabs := comparisonTables("figX", "lbl", b.Comparison)
+	tabs := comparisonTables("figX", "lbl", b.Grid(), b.Results)
 	checkTables(t, tabs, "figX_lbl_delay", "figX_lbl_power")
 }
 
@@ -151,8 +149,8 @@ func TestPIStepTransient(t *testing.T) {
 }
 
 func TestNearestIdx(t *testing.T) {
-	pts := []core.Point{{Load: 0.1}, {Load: 0.2}, {Load: 0.3}}
-	if got := nearestIdx(pts, 0.19); got != 1 {
+	loads := []float64{0.1, 0.2, 0.3}
+	if got := nearestIdx(loads, 0.19); got != 1 {
 		t.Errorf("nearestIdx = %d, want 1", got)
 	}
 	if got := nearestIdx(nil, 0.2); got != -1 {

@@ -1,0 +1,350 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/exp"
+	"repro/nocsim"
+)
+
+// A Manifest is the serialized job form of one figure: every panel's
+// resolved nocsim.Grid, flattened into one ordered list of
+// self-contained points. Because each grid is resolved (calibration
+// pinned) before the manifest is written, any point can be re-run on any
+// machine — or after a crash — and reproduce its number bit for bit,
+// which is what makes figure runs restartable and, eventually,
+// distributable.
+type Manifest struct {
+	// Fig is the figure identifier ("fig7", "pi", "period", ...).
+	Fig string `json:"fig"`
+	// Quick, Points and Seed record the Options the figure was planned
+	// with; rendering reads them, and a resumed run must reuse them.
+	Quick  bool  `json:"quick,omitempty"`
+	Points int   `json:"points"`
+	Seed   int64 `json:"seed"`
+	// Panels are the figure's sub-studies in presentation order.
+	Panels []Panel `json:"panels"`
+}
+
+// Panel is one sub-study of a figure: a label ("tornado", "vc2", ...)
+// and the resolved grid that measures it.
+type Panel struct {
+	Label string      `json:"label"`
+	Grid  nocsim.Grid `json:"grid"`
+}
+
+// NumPoints returns the total number of simulation points across the
+// manifest's panels.
+func (m *Manifest) NumPoints() int {
+	n := 0
+	for _, p := range m.Panels {
+		n += p.Grid.Len()
+	}
+	return n
+}
+
+// offsets returns the starting global point index of each panel, plus a
+// final entry holding NumPoints.
+func (m *Manifest) offsets() []int {
+	off := make([]int, len(m.Panels)+1)
+	for i, p := range m.Panels {
+		off[i+1] = off[i] + p.Grid.Len()
+	}
+	return off
+}
+
+// Point resolves global point index i to its panel and self-contained
+// scenario.
+func (m *Manifest) Point(i int) (panel int, sc nocsim.Scenario, err error) {
+	off := m.offsets()
+	if i < 0 || i >= off[len(off)-1] {
+		return 0, nocsim.Scenario{}, fmt.Errorf("sweep: manifest point %d out of range [0, %d)", i, off[len(off)-1])
+	}
+	panel = sort.SearchInts(off[1:], i+1)
+	sc, err = m.Panels[panel].Grid.Point(i - off[panel])
+	return panel, sc, err
+}
+
+// RunManifest executes the manifest's points that are not already in
+// have (keyed by global point index), fanning them across the exp
+// engine under the given worker bound. Each completed point is handed to
+// save (when non-nil) before the call returns, so an interrupted run
+// loses at most the in-flight points. When limit > 0, at most limit
+// missing points (lowest indices first) are scheduled — the hook behind
+// cmd/figures -max-points and the CI resume smoke test.
+//
+// It returns the full results in point order and whether the manifest is
+// now complete; when incomplete (limit cut the run short), the result
+// slice holds zero values at the missing indices and must not be
+// rendered.
+func RunManifest(ctx context.Context, m *Manifest, workers int, have map[int]nocsim.Result, save func(int, nocsim.Result) error, limit int) ([]nocsim.Result, bool, error) {
+	n := m.NumPoints()
+	var missing []int
+	for i := 0; i < n; i++ {
+		if _, ok := have[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	scheduled := missing
+	if limit > 0 && limit < len(missing) {
+		scheduled = missing[:limit]
+	}
+	var saveMu sync.Mutex
+	ran, err := exp.Map(ctx, workers, len(scheduled),
+		func(ctx context.Context, j int) (nocsim.Result, error) {
+			gi := scheduled[j]
+			_, sc, err := m.Point(gi)
+			if err != nil {
+				return nocsim.Result{}, err
+			}
+			r, err := nocsim.Run(ctx, sc)
+			if err != nil {
+				return nocsim.Result{}, fmt.Errorf("%s point %d: %w", m.Fig, gi, err)
+			}
+			r.Meta.PointIndex = gi
+			if save != nil {
+				saveMu.Lock()
+				err = save(gi, r)
+				saveMu.Unlock()
+				if err != nil {
+					return nocsim.Result{}, fmt.Errorf("%s point %d: saving: %w", m.Fig, gi, err)
+				}
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, false, err
+	}
+	results := make([]nocsim.Result, n)
+	for i, r := range have {
+		if i >= 0 && i < n {
+			results[i] = r
+		}
+	}
+	for j, r := range ran {
+		results[scheduled[j]] = r
+	}
+	return results, len(scheduled) == len(missing), nil
+}
+
+// DirStore persists manifests and their completed points under one
+// directory: <fig>.manifest.json holds the resolved grids, and
+// <fig>.points.jsonl accumulates one completed result per line, appended
+// as points finish so an interrupted run keeps everything it paid for.
+type DirStore struct {
+	Dir string
+}
+
+// NewDirStore creates (if needed) and opens a manifest directory.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{Dir: dir}, nil
+}
+
+func (st *DirStore) manifestPath(fig string) string {
+	return filepath.Join(st.Dir, fig+".manifest.json")
+}
+
+func (st *DirStore) pointsPath(fig string) string {
+	return filepath.Join(st.Dir, fig+".points.jsonl")
+}
+
+// LoadManifest reads a figure's stored manifest; it returns (nil, nil)
+// when none exists.
+func (st *DirStore) LoadManifest(fig string) (*Manifest, error) {
+	data, err := os.ReadFile(st.manifestPath(fig))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("sweep: manifest %s: %w", st.manifestPath(fig), err)
+	}
+	return &m, nil
+}
+
+// SaveManifest writes a figure's manifest (atomically, via a rename) and
+// truncates any stale points file: a fresh manifest invalidates results
+// recorded against an older plan.
+func (st *DirStore) SaveManifest(m *Manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := st.manifestPath(m.Fig) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, st.manifestPath(m.Fig)); err != nil {
+		return err
+	}
+	if err := os.Remove(st.pointsPath(m.Fig)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+// pointRecord is one line of a points file.
+type pointRecord struct {
+	Index  int           `json:"index"`
+	Result nocsim.Result `json:"result"`
+}
+
+// LoadPoints reads a figure's completed points. A trailing line that
+// does not parse (a crash mid-append) is dropped; a malformed line
+// elsewhere is an error.
+func (st *DirStore) LoadPoints(fig string) (map[int]nocsim.Result, error) {
+	f, err := os.Open(st.pointsPath(fig))
+	if errors.Is(err, os.ErrNotExist) {
+		return map[int]nocsim.Result{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	have := make(map[int]nocsim.Result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	var parseErr error
+	for sc.Scan() {
+		if parseErr != nil {
+			return nil, fmt.Errorf("sweep: points %s: %w", st.pointsPath(fig), parseErr)
+		}
+		var rec pointRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			parseErr = err // fatal only if more lines follow
+			continue
+		}
+		have[rec.Index] = rec.Result
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return have, nil
+}
+
+// AppendPoint records one completed point. Open-append-close per point
+// costs microseconds against simulations that cost seconds, and leaves
+// no long-lived descriptor to lose on a crash. A dangling partial line
+// left by a crash mid-append is truncated away first — appending after
+// it would merge two records into one malformed mid-file line that
+// poisons every later LoadPoints.
+func (st *DirStore) AppendPoint(fig string, i int, r nocsim.Result) error {
+	if err := truncatePartialTail(st.pointsPath(fig)); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(st.pointsPath(fig), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(pointRecord{Index: i, Result: r})
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// truncatePartialTail cuts a points file back to its last complete
+// (newline-terminated) line. A missing file is fine; so is a healthy
+// one — the common case costs one stat and one 1-byte read.
+func truncatePartialTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil
+	}
+	last := make([]byte, 1)
+	if _, err := f.ReadAt(last, size-1); err != nil {
+		return err
+	}
+	if last[0] == '\n' {
+		return nil
+	}
+	data := make([]byte, size)
+	if _, err := f.ReadAt(data, 0); err != nil {
+		return err
+	}
+	keep := int64(bytes.LastIndexByte(data, '\n') + 1)
+	return f.Truncate(keep)
+}
+
+// Generate produces the tables of one manifest-backed figure end to end:
+// plan (or, with resume, reload) the manifest, run its missing points,
+// and render. With a non-nil store the manifest and every completed
+// point are persisted as the run proceeds; with resume, a stored
+// manifest is reused (skipping calibration) and stored points are not
+// re-run. When limit > 0 at most that many new points are run; the
+// figure is then left incomplete on disk (complete=false, no tables) for
+// a later resumed run to finish.
+func Generate(ctx context.Context, fig string, o Options, st *DirStore, resume bool, limit int) (tables []Table, complete bool, err error) {
+	o.setDefaults()
+	var m *Manifest
+	have := map[int]nocsim.Result{}
+	if st != nil && resume {
+		if m, err = st.LoadManifest(fig); err != nil {
+			return nil, false, err
+		}
+		if m != nil {
+			if m.Quick != o.Quick || m.Points != o.Points || m.Seed != o.Seed {
+				return nil, false, fmt.Errorf("sweep: stored %s manifest was planned with quick=%v points=%d seed=%d; re-run with those options or without -resume",
+					fig, m.Quick, m.Points, m.Seed)
+			}
+			if have, err = st.LoadPoints(fig); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	if m == nil {
+		if m, err = Plan(ctx, fig, o); err != nil {
+			return nil, false, err
+		}
+		if st != nil {
+			if err := st.SaveManifest(m); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	var save func(int, nocsim.Result) error
+	if st != nil {
+		save = func(i int, r nocsim.Result) error { return st.AppendPoint(fig, i, r) }
+	}
+	results, complete, err := RunManifest(ctx, m, o.Workers, have, save, limit)
+	if err != nil || !complete {
+		return nil, false, err
+	}
+	tables, err = Render(m, results)
+	if err != nil {
+		return nil, false, err
+	}
+	return tables, true, nil
+}

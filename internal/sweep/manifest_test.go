@@ -1,0 +1,350 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/nocsim"
+)
+
+func TestManifestPointResolution(t *testing.T) {
+	base := nocsim.Scenario{Mesh: nocsim.DefaultMesh(), Pattern: "uniform"}.Normalized()
+	base.Calibration = &nocsim.Calibration{SaturationRate: 0.6, LambdaMax: 0.6, TargetDelayNs: 100}
+	m := &Manifest{Fig: "figX", Panels: []Panel{
+		{Label: "a", Grid: nocsim.Grid{Base: base, Loads: []float64{0.1, 0.2}, Policies: nocsim.AllPolicies()}},
+		{Label: "b", Grid: nocsim.Grid{Base: base, Loads: []float64{0.3}, Policies: []nocsim.PolicyKind{nocsim.NoDVFS}}},
+	}}
+	if n := m.NumPoints(); n != 7 {
+		t.Fatalf("NumPoints = %d, want 7", n)
+	}
+	// Global indices 0..5 live in panel a, 6 in panel b.
+	for i, wantPanel := range []int{0, 0, 0, 0, 0, 0, 1} {
+		panel, sc, err := m.Point(i)
+		if err != nil {
+			t.Fatalf("Point(%d): %v", i, err)
+		}
+		if panel != wantPanel {
+			t.Errorf("Point(%d) panel = %d, want %d", i, panel, wantPanel)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("Point(%d) scenario invalid: %v", i, err)
+		}
+	}
+	if _, _, err := m.Point(7); err == nil {
+		t.Error("Point(7) out of range, want error")
+	}
+	if _, _, err := m.Point(-1); err == nil {
+		t.Error("Point(-1), want error")
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := st.LoadManifest("figX"); err != nil || m != nil {
+		t.Fatalf("LoadManifest on empty store = (%v, %v), want (nil, nil)", m, err)
+	}
+	base := nocsim.Scenario{Mesh: nocsim.DefaultMesh(), Pattern: "uniform"}.Normalized()
+	base.Calibration = &nocsim.Calibration{SaturationRate: 0.6, LambdaMax: 0.6, TargetDelayNs: 100}
+	m := &Manifest{Fig: "figX", Points: 2, Seed: 1, Panels: []Panel{
+		{Label: "a", Grid: nocsim.Grid{Base: base, Loads: []float64{0.1, 0.2}, Policies: nocsim.AllPolicies()}},
+	}}
+	if err := st.SaveManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadManifest("figX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("manifest did not round-trip:\n got %+v\nwant %+v", got, m)
+	}
+
+	r := nocsim.Result{Scenario: base}
+	r.AvgDelayNs = 42
+	if err := st.AppendPoint("figX", 3, r); err != nil {
+		t.Fatal(err)
+	}
+	have, err := st.LoadPoints("figX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(have) != 1 || have[3].AvgDelayNs != 42 {
+		t.Errorf("LoadPoints = %v, want point 3 with delay 42", have)
+	}
+
+	// A trailing partial line (crash mid-append) is dropped, not fatal.
+	f, err := os.OpenFile(st.pointsPath("figX"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":4,"result":{"avg_del`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if have, err = st.LoadPoints("figX"); err != nil {
+		t.Fatal(err)
+	}
+	if len(have) != 1 {
+		t.Errorf("truncated tail not dropped: %d points", len(have))
+	}
+
+	// An append after the crash must not glue its record onto the partial
+	// tail: the dangling fragment is truncated away, and the file stays
+	// loadable even once further lines follow.
+	r2 := r
+	r2.AvgDelayNs = 7
+	if err := st.AppendPoint("figX", 5, r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AppendPoint("figX", 6, r2); err != nil {
+		t.Fatal(err)
+	}
+	if have, err = st.LoadPoints("figX"); err != nil {
+		t.Fatalf("LoadPoints after post-crash appends: %v", err)
+	}
+	if len(have) != 3 || have[5].AvgDelayNs != 7 || have[3].AvgDelayNs != 42 {
+		t.Errorf("post-crash appends corrupted the journal: %v", have)
+	}
+
+	// Re-saving the manifest invalidates recorded points.
+	if err := st.SaveManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	if have, err = st.LoadPoints("figX"); err != nil || len(have) != 0 {
+		t.Errorf("stale points survived a manifest rewrite: (%v, %v)", have, err)
+	}
+}
+
+// TestGenerateStoreMatchesInMemory pins the migration contract of the
+// manifest machinery: a persisted, store-backed figure run renders
+// byte-identical tables to the plain in-memory path (Tables), which is
+// itself the migrated form of the pre-refactor per-figure generators.
+func TestGenerateStoreMatchesInMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := context.Background()
+	o := Options{Quick: true, Points: 2, Workers: 2}
+	direct, err := AblationControlPeriod(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored, complete, err := Generate(ctx, "period", o, st, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatal("unlimited Generate reported incomplete")
+	}
+	if !reflect.DeepEqual(stored, direct) {
+		t.Errorf("store-backed tables differ from in-memory tables:\n got %+v\nwant %+v", stored, direct)
+	}
+	if m, err := st.LoadManifest("period"); err != nil || m == nil {
+		t.Errorf("manifest not persisted: (%v, %v)", m, err)
+	}
+	have, err := st.LoadPoints("period")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := st.LoadManifest("period")
+	if len(have) != m.NumPoints() {
+		t.Errorf("points file holds %d results for %d points", len(have), m.NumPoints())
+	}
+}
+
+// TestBundleMatchesNocsimSweep is the cross-layer golden check behind
+// the Fig. 7/8/10 migration: the manifest executor (RunManifest) must
+// produce exactly the results of running the same resolved grid through
+// the public nocsim.Sweep — the sweep layer no longer has measurement
+// semantics of its own. (The absolute DMSD numbers re-rolled once in
+// this migration when the sequential warm-start chain became a per-point
+// equilibrium warm start; this equivalence is the invariant that now
+// pins them.)
+func TestBundleMatchesNocsimSweep(t *testing.T) {
+	b := getBundle(t)
+	direct, err := nocsim.Sweep(context.Background(), b.Grid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(direct) != len(b.Results) {
+		t.Fatalf("nocsim.Sweep returned %d results, manifest run %d", len(direct), len(b.Results))
+	}
+	for i := range direct {
+		if direct[i].Metrics != b.Results[i].Metrics {
+			t.Errorf("point %d metrics diverge:\n manifest %+v\n sweep    %+v", i, b.Results[i].Metrics, direct[i].Metrics)
+		}
+	}
+}
+
+// TestResumeFillsOnlyGaps deletes half of a completed manifest's points
+// and verifies the resumed run re-executes exactly the missing ones and
+// reassembles byte-identical tables.
+func TestResumeFillsOnlyGaps(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := context.Background()
+	o := Options{Quick: true, Points: 2, Workers: 2}
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, complete, err := Generate(ctx, "baseline", o, st, false, 0)
+	if err != nil || !complete {
+		t.Fatalf("reference run: complete=%v err=%v", complete, err)
+	}
+
+	// Surgically drop every other recorded point.
+	path := st.pointsPath("baseline")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("need >= 2 recorded points to make gaps, have %d", len(lines))
+	}
+	var kept []string
+	for i, l := range lines {
+		if i%2 == 0 {
+			kept = append(kept, l)
+		}
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(kept, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resumed run must execute only the gaps: afterwards the points
+	// file holds the kept lines plus exactly one appended line per gap.
+	resumed, complete, err := Generate(ctx, "baseline", o, st, true, 0)
+	if err != nil || !complete {
+		t.Fatalf("resumed run: complete=%v err=%v", complete, err)
+	}
+	if !reflect.DeepEqual(resumed, full) {
+		t.Errorf("resumed tables differ from uninterrupted run:\n got %+v\nwant %+v", resumed, full)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if want := len(lines); len(after) != want {
+		t.Errorf("points file has %d lines after resume, want %d (kept %d + gaps %d)",
+			len(after), want, len(kept), len(lines)-len(kept))
+	}
+	for i, l := range kept {
+		if after[i] != l {
+			t.Errorf("resume rewrote kept line %d", i)
+		}
+	}
+
+	// Resume under different planning options must refuse rather than mix
+	// incompatible points.
+	bad := o
+	bad.Seed = 99
+	if _, _, err := Generate(ctx, "baseline", bad, st, true, 0); err == nil {
+		t.Error("resume with mismatched options succeeded, want error")
+	}
+}
+
+// TestGenerateLimitAndResume drives the interrupted-run workflow the CI
+// smoke test uses: stop after a few points (-max-points), observe the
+// incomplete verdict, then resume to completion.
+func TestGenerateLimitAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ctx := context.Background()
+	o := Options{Quick: true, Points: 2, Workers: 2}
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, complete, err := Generate(ctx, "period", o, st, false, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete || tables != nil {
+		t.Fatalf("limited run: complete=%v tables=%v, want incomplete and none", complete, tables)
+	}
+	have, err := st.LoadPoints("period")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(have) != 1 {
+		t.Fatalf("limited run recorded %d points, want 1", len(have))
+	}
+	resumed, complete, err := Generate(ctx, "period", o, st, true, 0)
+	if err != nil || !complete {
+		t.Fatalf("resume: complete=%v err=%v", complete, err)
+	}
+	direct, err := AblationControlPeriod(ctx, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resumed, direct) {
+		t.Errorf("interrupt+resume tables differ from uninterrupted run")
+	}
+}
+
+// TestNestedFig8PanelsRespectLeafBudget is the acceptance check for the
+// depth-aware scheduler on the real workload shape: Fig. 8 sensitivity
+// panels planned concurrently, each panel fanning out its own saturation
+// probes and calibration below — stacked worker pools that used to admit
+// W² in-flight sims. The instrumented high-water mark proves the number
+// of concurrently executing simulations never exceeds the leaf budget W.
+// (A 3-variant subset of the 12 keeps the test affordable; the panels go
+// through the exact planPanels/resolveComparison path planFig8 uses.)
+func TestNestedFig8PanelsRespectLeafBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	const W = 2
+	exp.SetLeafBudget(W)
+	defer exp.SetLeafBudget(0)
+	exp.ResetLeafPeak()
+
+	o := Options{Quick: true, Points: 2, Workers: 4}
+	o.setDefaults()
+	labels, mutate := fig8Variants()
+	pick := []int{0, 4, 9} // vc2, buf8, mesh4x4: distinct fabric shapes
+	subLabels := make([]string, len(pick))
+	for i, p := range pick {
+		subLabels[i] = labels[p]
+	}
+	panels, err := o.planPanels(context.Background(), subLabels,
+		func(ctx context.Context, i int) (nocsim.Grid, error) {
+			base := o.baseScenario()
+			mutate[pick[i]](&base.Mesh)
+			return o.resolveComparison(ctx, base, nocsim.AllPolicies(), o.nearSaturationLoads)
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{Fig: "fig8sub", Quick: true, Points: o.Points, Seed: o.Seed, Panels: panels}
+	if _, _, err := RunManifest(context.Background(), m, o.Workers, nil, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	inFlight, peak := exp.LeafStats()
+	if inFlight != 0 {
+		t.Errorf("%d leaf sims still in flight after the run", inFlight)
+	}
+	if peak > W {
+		t.Errorf("leaf peak %d exceeded budget %d: nesting multiplied in-flight sims", peak, W)
+	}
+	if peak < W {
+		t.Errorf("leaf peak %d never reached budget %d: instrumentation saw no overlap", peak, W)
+	}
+}

@@ -148,6 +148,31 @@ func WithSeed(seed int64) Option {
 	}
 }
 
+// WithControlPeriod overrides the DVFS control update period in node
+// cycles (the paper's Sec. IV period ablation; 0 restores the default).
+func WithControlPeriod(cycles int64) Option {
+	return func(s *Scenario) error { s.ControlPeriod = cycles; return nil }
+}
+
+// WithGains overrides the DMSD PI gains (0 keeps the paper's published
+// value for that gain).
+func WithGains(ki, kp float64) Option {
+	return func(s *Scenario) error { s.KI, s.KP = ki, kp; return nil }
+}
+
+// WithFreqLevels quantizes the actuation range into n discrete frequency
+// levels (the paper's footnote 2; 0 restores continuous actuation).
+func WithFreqLevels(n int) Option {
+	return func(s *Scenario) error { s.FreqLevels = n; return nil }
+}
+
+// WithTransient captures the controller's cold-start transient instead
+// of the steady state: the run starts at FMax with no warm start, and
+// the Result carries a per-control-period frequency/delay trace.
+func WithTransient() Option {
+	return func(s *Scenario) error { s.Transient = true; return nil }
+}
+
 // WithQuick shrinks warmup and measurement windows roughly 4x, for smoke
 // tests and examples that must run in seconds.
 func WithQuick() Option {

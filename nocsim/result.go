@@ -57,6 +57,18 @@ type RunMeta struct {
 	PointIndex int `json:"point_index"`
 }
 
+// TraceSample is one point of a transient run's frequency/delay trace
+// (one per control period).
+type TraceSample struct {
+	// TimeNs is the simulated time of the sample.
+	TimeNs float64 `json:"time_ns"`
+	// FreqHz and Volts are the commanded operating point.
+	FreqHz float64 `json:"freq_hz"`
+	Volts  float64 `json:"volts"`
+	// DelayNs is the window-average delay reported to the controller.
+	DelayNs float64 `json:"delay_ns"`
+}
+
 // Result is the outcome of one Run: the fully resolved scenario (with
 // any automatic calibration filled in), the paper's metrics, and the run
 // metadata.
@@ -66,7 +78,10 @@ type Result struct {
 	// reproduces Metrics exactly.
 	Scenario Scenario `json:"scenario"`
 	Metrics
-	Meta RunMeta `json:"meta"`
+	// Trace holds the per-control-period frequency/delay trajectory when
+	// the scenario was run with Transient set, nil otherwise.
+	Trace []TraceSample `json:"trace,omitempty"`
+	Meta  RunMeta       `json:"meta"`
 }
 
 // metricsFrom converts an engine result to the public metrics form.

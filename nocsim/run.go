@@ -39,11 +39,15 @@ func Run(ctx context.Context, s Scenario) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{
+	out := Result{
 		Scenario: s,
 		Metrics:  metricsFrom(res),
 		Meta:     RunMeta{Seed: s.Seed, Workers: s.Workers, WallTime: time.Since(start)},
-	}, nil
+	}
+	for _, sm := range res.Trace {
+		out.Trace = append(out.Trace, TraceSample{TimeNs: sm.TimeNs, FreqHz: sm.FreqHz, Volts: sm.Volts, DelayNs: sm.DelayNs})
+	}
+	return out, nil
 }
 
 // Calibrate runs the paper's calibration recipe for the scenario:

@@ -131,6 +131,23 @@ type Scenario struct {
 	FMinHz float64 `json:"fmin_hz"`
 	FMaxHz float64 `json:"fmax_hz"`
 
+	// ControlPeriod overrides the DVFS control update period in node
+	// cycles (0 = the paper's 10 000, or the shortened Quick period).
+	ControlPeriod int64 `json:"control_period,omitempty"`
+	// KI and KP override the DMSD PI gains (0 = the paper's published
+	// values).
+	KI float64 `json:"ki,omitempty"`
+	KP float64 `json:"kp,omitempty"`
+	// FreqLevels quantizes the actuation range into this many discrete
+	// frequency levels (0 = continuous actuation; the paper's footnote 2
+	// studies discrete tables).
+	FreqLevels int `json:"freq_levels,omitempty"`
+	// Transient captures the controller's cold-start transient instead
+	// of the steady state: no equilibrium warm start, a short fixed
+	// warmup, a long measurement window, and a per-control-period
+	// frequency/delay trace in the Result.
+	Transient bool `json:"transient,omitempty"`
+
 	// Seed is the root RNG seed (default 1). Sweep derives one
 	// independent stream per grid point from it.
 	Seed int64 `json:"seed"`
@@ -265,6 +282,15 @@ func (s Scenario) Validate() error {
 	if s.Workers < 0 {
 		errs = append(errs, fmt.Errorf("nocsim: workers %d", s.Workers))
 	}
+	if s.ControlPeriod < 0 {
+		errs = append(errs, fmt.Errorf("nocsim: control period %d", s.ControlPeriod))
+	}
+	if s.FreqLevels < 0 || s.FreqLevels == 1 {
+		errs = append(errs, fmt.Errorf("nocsim: %d frequency levels (want 0 for continuous or >= 2)", s.FreqLevels))
+	}
+	if s.KI < 0 || s.KP < 0 {
+		errs = append(errs, fmt.Errorf("nocsim: negative PI gains KI=%g KP=%g", s.KI, s.KP))
+	}
 	if c := s.Calibration; c != nil {
 		if s.Policy == RMSD && c.LambdaMax <= 0 {
 			errs = append(errs, errors.New("nocsim: rmsd needs calibration.lambda_max > 0"))
@@ -284,14 +310,19 @@ func (s Scenario) toCore() (core.Scenario, error) {
 		return core.Scenario{}, err
 	}
 	cs := core.Scenario{
-		Noc:      cfg,
-		Pattern:  s.Pattern,
-		PeakRate: s.PeakRate,
-		FNode:    s.FNodeHz,
-		Range:    dvfs.Range{FMin: s.FMinHz, FMax: s.FMaxHz},
-		Seed:     s.Seed,
-		Quick:    s.Quick,
-		Workers:  s.Workers,
+		Noc:           cfg,
+		Pattern:       s.Pattern,
+		PeakRate:      s.PeakRate,
+		FNode:         s.FNodeHz,
+		Range:         dvfs.Range{FMin: s.FMinHz, FMax: s.FMaxHz},
+		Seed:          s.Seed,
+		Quick:         s.Quick,
+		Workers:       s.Workers,
+		ControlPeriod: s.ControlPeriod,
+		KI:            s.KI,
+		KP:            s.KP,
+		FreqLevels:    s.FreqLevels,
+		Transient:     s.Transient,
 	}
 	if s.App != "" {
 		app, err := appByName(s.App)

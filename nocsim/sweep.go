@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 )
 
@@ -79,6 +80,13 @@ func (g Grid) Resolve(ctx context.Context) (Grid, error) {
 		g.Base.Calibration = &cal
 	}
 	return g, nil
+}
+
+// LoadGrid returns n evenly spaced loads in (0, max], excluding zero —
+// the standard load axis for comparison grids (core's helper, re-exported
+// so grid planners never drift from the internal convention).
+func LoadGrid(max float64, n int) []float64 {
+	return core.LoadGrid(max, n)
 }
 
 // Sweep resolves the grid (applying any options to its base scenario
