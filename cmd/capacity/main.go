@@ -30,9 +30,13 @@ func main() {
 		pattern = flag.String("pattern", "uniform", "traffic pattern")
 		seed    = flag.Int64("seed", 1, "random seed")
 		quick   = flag.Bool("quick", false, "shorter simulations")
-		workers = flag.Int("workers", 0, "concurrent saturation probes (0 = GOMAXPROCS, 1 = serial); the measured rate is identical either way")
+		workers = cli.WorkersFlag("concurrent saturation probes (default GOMAXPROCS, 1 = serial); the measured rate is identical either way")
 	)
 	flag.Parse()
+
+	if err := cli.CheckWorkers(*workers); err != nil {
+		log.Fatal(err)
+	}
 
 	ctx, stop := cli.SignalContext()
 	defer stop()

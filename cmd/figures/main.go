@@ -15,6 +15,14 @@
 //
 //	figures -fig 8 -manifest runs/fig8            # restartable run
 //	figures -fig 8 -manifest runs/fig8 -resume    # finish an interrupted run
+//
+// With -coordinator URL the figures are not computed (only) here: the
+// manifests are served by a nocsimd coordinator, this process joins as
+// one more worker, and the tables are reassembled from the
+// coordinator's journal once every point is posted — byte-identical to
+// a single-process run of the same options.
+//
+//	figures -fig 7 -quick -coordinator http://10.0.0.7:9090
 package main
 
 import (
@@ -28,7 +36,9 @@ import (
 
 	"repro/internal/cli"
 	"repro/internal/exp"
+	"repro/internal/queue"
 	"repro/internal/sweep"
+	"repro/nocsim/manifest"
 )
 
 // reportProgress polls the exp engine's cumulative point counters and
@@ -56,9 +66,14 @@ func reportProgress(interval time.Duration) {
 }
 
 // selection maps the user's -fig tokens to the manifest-backed figures
-// to run, whether the analytic Fig. 5 is wanted, and the table-ID
+// to run (the vocabulary lives in sweep.ResolveFigures, shared with
+// cmd/nocsimd), whether the analytic Fig. 5 is wanted, and the table-ID
 // prefixes to keep from the shared baseline manifest.
 func selection(figs string) (run []string, fig5 bool, baselineIDs map[string]bool, err error) {
+	run, fig5, err = sweep.ResolveFigures(figs)
+	if err != nil {
+		return nil, false, nil, err
+	}
 	want := map[string]bool{}
 	for _, f := range strings.Split(figs, ",") {
 		want[strings.TrimSpace(f)] = true
@@ -70,31 +85,10 @@ func selection(figs string) (run []string, fig5 bool, baselineIDs map[string]boo
 			baselineIDs[prefix] = true
 		}
 	}
-	ablations := []string{"period", "gains", "levels", "routing", "breakdown"}
-	seen := map[string]bool{}
-	add := func(fig string, cond bool) {
-		if cond && !seen[fig] {
-			seen[fig] = true
-			run = append(run, fig)
-		}
-	}
-	add("baseline", len(baselineIDs) > 0)
-	add("fig7", all || want["7"])
-	add("fig8", all || want["8"])
-	add("fig10", all || want["10"])
-	add("pi", all || want["pi"])
-	for _, abl := range ablations {
-		add(abl, all || want["ablation"] || want[abl])
-	}
-	fig5 = all || want["5"]
-	known := map[string]bool{"all": true, "2": true, "4": true, "5": true, "6": true,
-		"7": true, "8": true, "10": true, "pi": true, "summary": true, "ablation": true}
-	for _, abl := range ablations {
-		known[abl] = true
-	}
-	for f := range want {
-		if f != "" && !known[f] {
-			return nil, false, nil, fmt.Errorf("unknown figure %q", f)
+	if want["baseline"] {
+		// The manifest name selects the whole shared study: every view.
+		for _, prefix := range []string{"fig2", "fig4", "fig6", "summary"} {
+			baselineIDs[prefix] = true
 		}
 	}
 	return run, fig5, baselineIDs, nil
@@ -105,18 +99,26 @@ func main() {
 	log.SetPrefix("figures: ")
 
 	var (
-		figs      = flag.String("fig", "all", "comma-separated figure list: 2,4,5,6,7,8,10,pi,summary,ablation (or period,gains,levels,routing,breakdown individually) or 'all'")
-		quick     = flag.Bool("quick", false, "shorter windows and smaller grids")
-		points    = flag.Int("points", 0, "samples per curve (0 = default)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		csvDir    = flag.String("csv", "", "also write one CSV per table into this directory")
-		workers   = flag.Int("workers", 0, "concurrent simulation points (0 = GOMAXPROCS, 1 = serial); results are identical either way")
-		progress  = flag.Bool("progress", false, "log point completion and ETA every few seconds")
-		manifest  = flag.String("manifest", "", "persist resolved-grid manifests and completed points under this directory")
-		resume    = flag.Bool("resume", false, "with -manifest: reuse stored manifests and completed points, running only the missing ones")
-		maxPoints = flag.Int("max-points", 0, "stop each figure after this many new points (0 = no limit); for testing interrupted runs")
+		figs        = flag.String("fig", "all", "comma-separated figure list: 2,4,5,6,7,8,10,pi,summary,ablation (or period,gains,levels,routing,breakdown individually) or 'all'")
+		quick       = flag.Bool("quick", false, "shorter windows and smaller grids")
+		points      = flag.Int("points", 0, "samples per curve (0 = default)")
+		seed        = flag.Int64("seed", 1, "random seed")
+		csvDir      = flag.String("csv", "", "also write one CSV per table into this directory")
+		workers     = cli.WorkersFlag("concurrent simulation points (default GOMAXPROCS, 1 = serial); results are identical either way")
+		progress    = flag.Bool("progress", false, "log point completion and ETA every few seconds")
+		manifestDir = flag.String("manifest", "", "persist resolved-grid manifests and completed points under this directory")
+		resume      = flag.Bool("resume", false, "with -manifest: reuse stored manifests and completed points, running only the missing ones")
+		maxPoints   = flag.Int("max-points", 0, "stop each figure after this many new points (0 = no limit); for testing interrupted runs")
+		coordinator = flag.String("coordinator", "", "compute through this nocsimd coordinator URL and reassemble tables from its journal")
 	)
 	flag.Parse()
+
+	if err := cli.CheckWorkers(*workers); err != nil {
+		log.Fatal(err)
+	}
+	if *maxPoints < 0 {
+		log.Fatalf("-max-points must be >= 0 (got %d); 0 means no limit", *maxPoints)
+	}
 
 	// The leaf budget is the process-wide cap on concurrently executing
 	// simulations: nested panels stack worker pools, but never sims.
@@ -128,9 +130,6 @@ func main() {
 	defer stop()
 
 	o := sweep.Options{Quick: *quick, Points: *points, Seed: *seed, Workers: *workers}
-	if *progress {
-		go reportProgress(3 * time.Second)
-	}
 	run, fig5, baselineIDs, err := selection(*figs)
 	if err != nil {
 		log.Fatal(err)
@@ -139,9 +138,26 @@ func main() {
 		log.Fatalf("nothing selected by -fig %q", *figs)
 	}
 
-	var store *sweep.DirStore
-	if *manifest != "" {
-		if store, err = sweep.NewDirStore(*manifest); err != nil {
+	var qc *queue.Client
+	if *coordinator != "" {
+		if *manifestDir != "" || *resume || *maxPoints > 0 {
+			log.Fatal("-coordinator is exclusive with -manifest/-resume/-max-points: the coordinator owns the journal")
+		}
+		qc = &queue.Client{Base: strings.TrimRight(*coordinator, "/")}
+	}
+	if *progress {
+		if qc != nil {
+			// The exp counters track the local engine's grid points, which a
+			// coordinator-mode run does not schedule; polling them would
+			// print nothing (or nonsense) for the whole run.
+			log.Print("-progress has no local view in -coordinator mode; watch the coordinator's logs or GET /v1/status/<fig>")
+		} else {
+			go reportProgress(3 * time.Second)
+		}
+	}
+	var store *manifest.DirStore
+	if *manifestDir != "" {
+		if store, err = manifest.NewDirStore(*manifestDir); err != nil {
 			log.Fatal(err)
 		}
 	} else if *resume {
@@ -155,8 +171,15 @@ func main() {
 	var tables []sweep.Table
 	incomplete := 0
 	for _, fig := range run {
-		log.Printf("running %s...", fig)
-		ts, complete, err := sweep.Generate(ctx, fig, o, store, *resume, *maxPoints)
+		var ts []sweep.Table
+		complete := true
+		if qc != nil {
+			log.Printf("running %s via coordinator %s...", fig, *coordinator)
+			ts, err = sweep.GenerateRemote(ctx, fig, o, qc)
+		} else {
+			log.Printf("running %s...", fig)
+			ts, complete, err = sweep.Generate(ctx, fig, o, store, *resume, *maxPoints)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -182,7 +205,7 @@ func main() {
 		tables = append(tables, sweep.Fig5(o)...)
 	}
 	if incomplete > 0 {
-		log.Printf("%d figure(s) left incomplete (manifest saved under %s)", incomplete, *manifest)
+		log.Printf("%d figure(s) left incomplete (manifest saved under %s)", incomplete, *manifestDir)
 		return
 	}
 

@@ -1,0 +1,192 @@
+// Command nocsimd is the distributed manifest work-queue daemon: the
+// coordinator (serve mode) and the worker (with -worker) behind
+// horizontally scaled figure runs.
+//
+// Serve mode plans — or, with -resume, reloads — figure manifests and
+// serves their points over HTTP as expiring leases, journaling every
+// posted result through the manifest directory so a crashed coordinator
+// resumes where it stopped:
+//
+//	nocsimd -addr 127.0.0.1:9090 -fig fig7 -quick -manifest runs/dist
+//
+// Worker mode attaches to a coordinator and computes leased points until
+// the coordinator reports all work done:
+//
+//	nocsimd -worker http://127.0.0.1:9090 -workers 8
+//
+// Workers are stateless: kill one mid-run and its leases expire and are
+// re-issued; results are bit-identical wherever a point executes, so the
+// tables reassembled from a distributed run match a single-process run
+// byte for byte (cmd/figures -coordinator does the reassembly).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/exp"
+	"repro/internal/queue"
+	"repro/internal/sweep"
+	"repro/nocsim/manifest"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocsimd: ")
+
+	var (
+		workerURL = flag.String("worker", "", "run as a worker against this coordinator URL (instead of serving)")
+		addr      = flag.String("addr", "127.0.0.1:9090", "serve: listen address")
+		figs      = flag.String("fig", "all", "serve: comma-separated figures to plan and serve — same tokens as cmd/figures -fig (paper numbers or manifest names) or 'all'")
+		quick     = flag.Bool("quick", false, "serve: plan with shorter windows and smaller grids")
+		points    = flag.Int("points", 0, "serve: samples per curve (0 = default)")
+		seed      = flag.Int64("seed", 1, "serve: random seed")
+		dir       = flag.String("manifest", "", "serve: journal manifests and posted points under this directory (enables crash resume)")
+		resume    = flag.Bool("resume", false, "serve: with -manifest, reuse stored manifests and journaled points")
+		leaseTTL  = flag.Duration("lease-ttl", 60*time.Second, "serve: lease time before an unanswered point is re-issued")
+		maxLeases = flag.Int("max-leases", 1024, "serve: cap on outstanding leases across all manifests")
+		exitDone  = flag.Bool("exit-when-done", false, "serve: exit once every served manifest is complete")
+		workers   = cli.WorkersFlag("concurrent simulations in this process (planning calibrations in serve mode, leased points in worker mode)")
+		poll      = flag.Duration("poll", 500*time.Millisecond, "worker: back-off between lease attempts while no point is available")
+	)
+	flag.Parse()
+
+	if err := cli.CheckWorkers(*workers); err != nil {
+		log.Fatal(err)
+	}
+	exp.SetLeafBudget(*workers)
+
+	ctx, stop := cli.SignalContext()
+	defer stop()
+
+	if *workerURL != "" {
+		if err := work(ctx, *workerURL, *workers, *poll); err != nil && ctx.Err() == nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if err := serve(ctx, serveConfig{
+		addr: *addr, figs: *figs, dir: *dir, resume: *resume,
+		leaseTTL: *leaseTTL, maxLeases: *maxLeases, exitDone: *exitDone,
+		opts: sweep.Options{Quick: *quick, Points: *points, Seed: *seed, Workers: *workers},
+	}); err != nil && ctx.Err() == nil {
+		log.Fatal(err)
+	}
+}
+
+func work(ctx context.Context, url string, workers int, poll time.Duration) error {
+	w := &queue.Worker{
+		Client:  &queue.Client{Base: strings.TrimRight(url, "/")},
+		Workers: workers,
+		Poll:    poll,
+		OnPoint: func(name string, index int) { log.Printf("posted %s point %d", name, index) },
+	}
+	log.Printf("worker attached to %s (%d lease loops)", url, workers)
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	log.Print("coordinator reports all work done")
+	return nil
+}
+
+type serveConfig struct {
+	addr      string
+	figs      string
+	dir       string
+	resume    bool
+	leaseTTL  time.Duration
+	maxLeases int
+	exitDone  bool
+	opts      sweep.Options
+}
+
+// selectFigs resolves the -fig list (sweep.ResolveFigures: the same
+// vocabulary cmd/figures accepts) into the manifest figures to serve.
+func selectFigs(figs string) ([]string, error) {
+	out, fig5, err := sweep.ResolveFigures(figs)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		if fig5 {
+			return nil, fmt.Errorf("fig 5 is analytic: it has no simulation points to serve")
+		}
+		return nil, fmt.Errorf("nothing selected by -fig %q", figs)
+	}
+	return out, nil
+}
+
+func serve(ctx context.Context, cfg serveConfig) error {
+	figs, err := selectFigs(cfg.figs)
+	if err != nil {
+		return err
+	}
+	var store *manifest.DirStore
+	if cfg.dir != "" {
+		if store, err = manifest.NewDirStore(cfg.dir); err != nil {
+			return err
+		}
+	} else if cfg.resume {
+		return fmt.Errorf("-resume needs -manifest")
+	}
+
+	coord := queue.New(queue.Config{LeaseTTL: cfg.leaseTTL, MaxLeases: cfg.maxLeases, Store: store})
+	defer coord.Close()
+
+	// Bind before planning: workers and -coordinator clients can connect
+	// immediately and poll until their manifest appears.
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	server := &http.Server{Handler: coord.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+	log.Printf("serving on %s", ln.Addr())
+
+	for _, fig := range figs {
+		m, have, err := sweep.PlanOrResume(ctx, fig, cfg.opts, store, cfg.resume)
+		if err != nil {
+			server.Close()
+			return fmt.Errorf("planning %s: %w", fig, err)
+		}
+		if err := coord.Add(m, have); err != nil {
+			server.Close()
+			return err
+		}
+		log.Printf("serving %s: %d points (%d already journaled)", fig, m.NumPoints(), len(have))
+	}
+	// Sealing tells unscoped workers that "everything complete" now
+	// really means done — before this, it would mean "planning not
+	// finished, wait for more work".
+	coord.Seal()
+	log.Printf("all %d manifest(s) planned; lease TTL %s, max %d outstanding leases",
+		len(figs), cfg.leaseTTL, cfg.maxLeases)
+
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			return server.Shutdown(shutdownCtx)
+		case err := <-serveErr:
+			return err
+		case <-ticker.C:
+			if cfg.exitDone && coord.Complete() {
+				log.Print("all manifests complete; exiting")
+				shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				return server.Shutdown(shutdownCtx)
+			}
+		}
+	}
+}

@@ -32,7 +32,8 @@
 //	internal/sim      the two-clock-domain simulation engine (context-aware)
 //	internal/exp      parallel deterministic experiment runner (worker pool)
 //	internal/core     experiments: calibration, saturation search, sweeps
-//	internal/sweep    figure/table generators for the whole evaluation
+//	internal/sweep    figure/table planners and renderers for the evaluation
+//	internal/queue    HTTP work-queue: lease coordinator, client, worker loop
 //
 // Every experiment grid — policy comparisons, saturation searches, figure
 // panels, ablations — is fanned out across GOMAXPROCS workers by
@@ -52,21 +53,37 @@
 // executing simulations beyond W, and since panel jobs never hold slots
 // the scheme cannot deadlock.
 //
-// # Manifests and resume
+// # Manifests, resume, and distributed runs
 //
-// Every figure and ablation in internal/sweep is planned as a manifest:
-// the panels' nocsim.Grids are resolved (calibration pinned) up front,
-// making each simulation point a self-contained JSON job. cmd/figures
-// and cmd/report persist manifests and completed points with -manifest
-// DIR and finish interrupted runs with -resume, re-running only the
-// missing points and reassembling identical tables; see README.md. The
-// same manifest form is the job unit a future distributed work-queue
-// runner will consume.
+// Every figure and ablation in internal/sweep is planned as a manifest
+// (package nocsim/manifest): the panels' nocsim.Grids are resolved
+// (calibration pinned) up front, making each simulation point a
+// self-contained JSON job addressed by one global index. The manifest
+// plus its (index, result) journal — crash-safe, fsynced per line, torn
+// tails skipped — is the single source of truth every executor shares:
+//
+//   - in-process: manifest.Run fans the missing points across the exp
+//     engine (cmd/figures and cmd/report persist with -manifest DIR and
+//     finish interrupted runs with -resume);
+//   - distributed: cmd/nocsimd serves the points over HTTP as expiring
+//     {manifest, index} leases (internal/queue); stateless workers
+//     (nocsimd -worker) lease, run nocsim.Run, and post back with retry.
+//     A dead worker's leases expire and are re-issued; the first result
+//     for a point wins, so the journal holds each point exactly once,
+//     and a restarted coordinator resumes from its journal.
+//
+// Since every point carries its own derived RNG stream, tables
+// reassembled from any mix of local, resumed and remote execution are
+// byte-identical — cmd/figures -coordinator URL and cmd/report
+// -coordinator URL join the computation as one more worker and render
+// from the journal; CI smoke-tests the equivalence with a worker killed
+// mid-run. See README.md for the quickstart.
 //
 // Entry points: cmd/nocsim (single run or JSON scenario), cmd/figures
 // (regenerate the evaluation), cmd/capacity (saturation analysis),
-// cmd/report (paper-vs-measured report), and examples/ — all thin
-// translations over the nocsim package.
+// cmd/report (paper-vs-measured report), cmd/nocsimd (work-queue
+// coordinator and worker), and examples/ — all thin translations over
+// the nocsim package.
 //
 // The benchmarks in bench_test.go map one-to-one onto the paper's tables
 // and figures; see EXPERIMENTS.md for measured-vs-paper comparisons.

@@ -1,0 +1,24 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"runtime"
+)
+
+// WorkersFlag registers the -workers flag shared by every command: a
+// positive concurrency bound defaulting to GOMAXPROCS. Validate the
+// parsed value with CheckWorkers after flag.Parse.
+func WorkersFlag(usage string) *int {
+	return flag.Int("workers", runtime.GOMAXPROCS(0), usage)
+}
+
+// CheckWorkers rejects a non-positive -workers value with the shared
+// error wording (results never depend on the value — only wall clock —
+// so the only invalid inputs are the meaningless ones).
+func CheckWorkers(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("-workers must be positive (got %d); use 1 for serial", n)
+	}
+	return nil
+}

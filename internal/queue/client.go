@@ -1,0 +1,185 @@
+package queue
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/nocsim"
+	"repro/nocsim/manifest"
+)
+
+// ErrUnknownManifest reports that the coordinator does not (yet) serve
+// the requested manifest — possibly because it is still planning it.
+var ErrUnknownManifest = errors.New("queue: coordinator does not serve this manifest")
+
+// Client talks to a coordinator's HTTP API.
+type Client struct {
+	// Base is the coordinator's base URL, e.g. "http://10.0.0.7:9090".
+	Base string
+	// HTTP overrides the transport; nil uses a client with a 30-second
+	// per-request timeout (every coordinator response is small and
+	// immediate — leases are granted or refused, never held open).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// do performs one request and decodes the JSON response into out (when
+// non-nil). A 404 maps to ErrUnknownManifest so pollers can tell "not
+// planned yet" from transport failures.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.Base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%w (%s %s: %s)", ErrUnknownManifest, method, path, bytes.TrimSpace(msg))
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("queue: %s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Manifests lists the manifest names the coordinator serves.
+func (c *Client) Manifests(ctx context.Context) ([]string, error) {
+	var out struct {
+		Names []string `json:"names"`
+	}
+	if err := c.do(ctx, http.MethodGet, "/v1/manifests", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Names, nil
+}
+
+// Manifest fetches one manifest by name.
+func (c *Client) Manifest(ctx context.Context, name string) (*manifest.Manifest, error) {
+	var m manifest.Manifest
+	if err := c.do(ctx, http.MethodGet, "/v1/manifest/"+name, nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WaitManifest polls until the coordinator serves the named manifest —
+// covering both a coordinator still binding its listener and one still
+// planning (calibrating) the manifest — or the timeout elapses (<= 0
+// means no bound beyond ctx). The timeout is what surfaces a wrong URL
+// or a figure the coordinator was never asked to serve, instead of
+// hanging forever; the returned error carries the last failure so a
+// connection refusal reads differently from a 404.
+func (c *Client) WaitManifest(ctx context.Context, name string, timeout time.Duration) (*manifest.Manifest, error) {
+	const poll = 500 * time.Millisecond
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	for {
+		m, err := c.Manifest(ctx, name)
+		if err == nil {
+			return m, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("queue: waiting for manifest %q: %w (last: %v)", name, ctx.Err(), err)
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("queue: waiting for manifest %q: %w (last: %v)", name, ctx.Err(), err)
+		}
+	}
+}
+
+// Lease asks the coordinator for one point to compute.
+func (c *Client) Lease(ctx context.Context, req LeaseRequest) (LeaseResponse, error) {
+	var resp LeaseResponse
+	err := c.do(ctx, http.MethodPost, "/v1/lease", req, &resp)
+	return resp, err
+}
+
+// PostResult posts one computed point back.
+func (c *Client) PostResult(ctx context.Context, req ResultRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/result", req, nil)
+}
+
+// PostResultRetry posts with retry: a computed point is too expensive to
+// drop on a transient network error, so the post is retried with
+// exponential backoff (attempts tries total) before giving up.
+func (c *Client) PostResultRetry(ctx context.Context, req ResultRequest, attempts int) error {
+	if attempts <= 0 {
+		attempts = 5
+	}
+	backoff := 100 * time.Millisecond
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			backoff *= 2
+		}
+		if err = c.PostResult(ctx, req); err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("queue: posting %s point %d failed after %d attempts: %w",
+		req.Name, req.Index, attempts, err)
+}
+
+// Points fetches a manifest's completed results, keyed by point index.
+func (c *Client) Points(ctx context.Context, name string) (map[int]nocsim.Result, error) {
+	var recs []manifest.Record
+	if err := c.do(ctx, http.MethodGet, "/v1/points/"+name, nil, &recs); err != nil {
+		return nil, err
+	}
+	have := make(map[int]nocsim.Result, len(recs))
+	for _, rec := range recs {
+		have[rec.Index] = rec.Result
+	}
+	return have, nil
+}
+
+// Status fetches one manifest's progress.
+func (c *Client) Status(ctx context.Context, name string) (Status, error) {
+	var st Status
+	err := c.do(ctx, http.MethodGet, "/v1/status/"+name, nil, &st)
+	return st, err
+}

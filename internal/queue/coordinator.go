@@ -1,0 +1,436 @@
+package queue
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/nocsim"
+	"repro/nocsim/manifest"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// LeaseTTL is how long a worker holds a leased point before it may be
+	// re-issued. Zero means 60 seconds — generous against full-window
+	// simulation points that take tens of seconds.
+	LeaseTTL time.Duration
+	// MaxLeases caps the number of outstanding leases across all
+	// manifests; further requests get StatusWait until a lease resolves
+	// or expires. Zero means 1024. This is the coordinator's only
+	// concurrency knob: how many sims actually run at once is each worker
+	// process's own leaf budget.
+	MaxLeases int
+	// Store, when non-nil, journals every accepted result so a restarted
+	// coordinator resumes from disk (hand the loaded points to Add).
+	Store *manifest.DirStore
+	// Clock overrides time.Now for tests.
+	Clock func() time.Time
+}
+
+// A Coordinator owns the lease state of a set of manifests and exposes
+// it over HTTP (Handler). It is safe for concurrent use and runs no
+// background goroutines; create it, Add manifests, serve Handler, and
+// Close it when the server is down.
+type Coordinator struct {
+	cfg Config
+
+	mu     sync.Mutex
+	names  []string        // registration order, for fair scanning
+	jobs   map[string]*job // keyed by manifest name
+	sealed bool            // no more Adds coming (see Seal)
+}
+
+type job struct {
+	m       *manifest.Manifest
+	sum     string // plan fingerprint, echoed in leases and checked on post
+	total   int
+	done    map[int]nocsim.Result
+	pending map[int]bool // being journaled right now (c.mu released for the fsync)
+	leases  map[int]lease
+	journal *manifest.Journal // nil without a store
+}
+
+type lease struct {
+	worker   string
+	deadline time.Time
+}
+
+// New returns an empty coordinator.
+func New(cfg Config) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 60 * time.Second
+	}
+	if cfg.MaxLeases <= 0 {
+		cfg.MaxLeases = 1024
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Coordinator{cfg: cfg, jobs: map[string]*job{}}
+}
+
+// Add registers a manifest and its already-completed points (from a
+// resumed journal; nil for a fresh run). With a store configured, the
+// journal for the manifest is opened for appends — persist the manifest
+// itself (DirStore.SaveManifest or sweep.PlanOrResume) before calling
+// Add, since saving later would truncate the very journal the
+// coordinator writes.
+func (c *Coordinator) Add(m *manifest.Manifest, have map[int]nocsim.Result) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[m.Name]; ok {
+		return fmt.Errorf("queue: manifest %q already registered", m.Name)
+	}
+	sum, err := manifestSum(m)
+	if err != nil {
+		return err
+	}
+	j := &job{
+		m:       m,
+		sum:     sum,
+		total:   m.NumPoints(),
+		done:    map[int]nocsim.Result{},
+		pending: map[int]bool{},
+		leases:  map[int]lease{},
+	}
+	for i, r := range have {
+		if i >= 0 && i < j.total {
+			j.done[i] = r
+		}
+	}
+	if c.cfg.Store != nil {
+		journal, err := c.cfg.Store.Journal(m.Name)
+		if err != nil {
+			return err
+		}
+		j.journal = journal
+	}
+	c.jobs[m.Name] = j
+	c.names = append(c.names, m.Name)
+	return nil
+}
+
+// Seal declares registration finished: no more Adds are coming. Until a
+// coordinator is sealed, an unscoped lease request never answers
+// StatusDone — only StatusWait — so workers that attach while the serve
+// loop is still planning later manifests don't drain away after the
+// first one completes. Leases scoped to a named manifest are unaffected
+// (that manifest's completion is its own answer).
+func (c *Coordinator) Seal() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sealed = true
+}
+
+// manifestSum fingerprints a plan so leases and posted results can be
+// checked against the manifest a worker actually computed from.
+func manifestSum(m *manifest.Manifest) (string, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8]), nil
+}
+
+// Close releases the journals. Call it after the HTTP server is shut
+// down.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var first error
+	for _, j := range c.jobs {
+		if j.journal != nil {
+			if err := j.journal.Close(); err != nil && first == nil {
+				first = err
+			}
+			j.journal = nil
+		}
+	}
+	return first
+}
+
+// pruneLocked drops expired leases (re-issuable from now on) and returns
+// the number still outstanding. Callers hold c.mu.
+func (c *Coordinator) pruneLocked(now time.Time) int {
+	outstanding := 0
+	for _, j := range c.jobs {
+		for i, l := range j.leases {
+			if !l.deadline.After(now) {
+				delete(j.leases, i)
+			}
+		}
+		outstanding += len(j.leases)
+	}
+	return outstanding
+}
+
+// freeLocked returns the lowest free (not done, not being journaled,
+// not leased) index of j, or -1 when none.
+func (j *job) freeLocked() int {
+	for i := 0; i < j.total; i++ {
+		if _, ok := j.done[i]; ok {
+			continue
+		}
+		if j.pending[i] {
+			continue
+		}
+		if _, ok := j.leases[i]; ok {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// Lease grants one point of the requested scope, or reports wait/done.
+func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock()
+	outstanding := c.pruneLocked(now)
+
+	scope := c.names
+	if req.Name != "" {
+		if _, ok := c.jobs[req.Name]; !ok {
+			return LeaseResponse{}, fmt.Errorf("queue: unknown manifest %q", req.Name)
+		}
+		scope = []string{req.Name}
+	}
+	if len(scope) == 0 {
+		// Nothing registered yet (the coordinator may still be planning):
+		// tell the worker to wait for work rather than "done".
+		return LeaseResponse{Status: StatusWait}, nil
+	}
+	complete := true
+	for _, name := range scope {
+		if len(c.jobs[name].done) < c.jobs[name].total {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		// An unscoped "done" is only trustworthy once registration is
+		// sealed: while the serve loop is still planning later manifests,
+		// "everything registered so far is complete" must read as "wait
+		// for more work", or attached workers drain away early.
+		if req.Name == "" && !c.sealed {
+			return LeaseResponse{Status: StatusWait}, nil
+		}
+		return LeaseResponse{Status: StatusDone}, nil
+	}
+	if outstanding >= c.cfg.MaxLeases {
+		return LeaseResponse{Status: StatusWait}, nil
+	}
+	for _, name := range scope {
+		j := c.jobs[name]
+		if i := j.freeLocked(); i >= 0 {
+			deadline := now.Add(c.cfg.LeaseTTL)
+			j.leases[i] = lease{worker: req.Worker, deadline: deadline}
+			return LeaseResponse{Status: StatusLease, Name: name, Index: i, Sum: j.sum, Deadline: deadline}, nil
+		}
+	}
+	// Everything incomplete is leased out; the caller should poll again
+	// (a lease will resolve or expire).
+	return LeaseResponse{Status: StatusWait}, nil
+}
+
+// PostResult accepts one computed point. The first result for a point is
+// journaled and recorded; a duplicate (a slow worker posting after its
+// lease expired and the point was recomputed) is acknowledged without a
+// second journal line, so the journal holds each point exactly once.
+//
+// The journal fsync happens outside the coordinator mutex — Journal has
+// its own lock — so lease grants and status polls from other workers
+// never queue behind per-line disk syncs; the pending set is what keeps
+// a concurrent duplicate from writing a second line meanwhile.
+func (c *Coordinator) PostResult(req ResultRequest) error {
+	c.mu.Lock()
+	j, ok := c.jobs[req.Name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("queue: unknown manifest %q", req.Name)
+	}
+	if req.Index < 0 || req.Index >= j.total {
+		c.mu.Unlock()
+		return fmt.Errorf("queue: %s result index %d out of range [0, %d)", req.Name, req.Index, j.total)
+	}
+	if req.Sum != "" && req.Sum != j.sum {
+		// The worker computed against a different plan (a coordinator
+		// restarted with new options between its lease and its post):
+		// journaling it would silently corrupt the tables.
+		c.mu.Unlock()
+		return fmt.Errorf("queue: %s result computed against plan %s, serving %s; re-lease", req.Name, req.Sum, j.sum)
+	}
+	if _, done := j.done[req.Index]; done || j.pending[req.Index] {
+		c.mu.Unlock()
+		return nil // duplicate: first result won (or is being journaled)
+	}
+	j.pending[req.Index] = true
+	journal := j.journal
+	c.mu.Unlock()
+
+	var err error
+	if journal != nil {
+		err = journal.Append(req.Index, req.Result)
+	}
+
+	c.mu.Lock()
+	delete(j.pending, req.Index)
+	if err == nil {
+		j.done[req.Index] = req.Result
+		delete(j.leases, req.Index)
+	}
+	c.mu.Unlock()
+	if err != nil {
+		// Not recorded: the lease stands (or expires) and the point will
+		// be posted again.
+		return fmt.Errorf("queue: journaling %s point %d: %w", req.Name, req.Index, err)
+	}
+	return nil
+}
+
+// Manifest returns a registered manifest by name.
+func (c *Coordinator) Manifest(name string) (*manifest.Manifest, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[name]
+	if !ok {
+		return nil, false
+	}
+	return j.m, true
+}
+
+// Names returns the registered manifest names in registration order.
+func (c *Coordinator) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.names...)
+}
+
+// Points returns a manifest's completed results, keyed by point index.
+func (c *Coordinator) Points(name string) (map[int]nocsim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[name]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[int]nocsim.Result, len(j.done))
+	for i, r := range j.done {
+		out[i] = r
+	}
+	return out, true
+}
+
+// Status reports one manifest's progress.
+func (c *Coordinator) Status(name string) (Status, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[name]
+	if !ok {
+		return Status{}, false
+	}
+	return Status{
+		Name:     name,
+		Total:    j.total,
+		Done:     len(j.done),
+		Leased:   len(j.leases),
+		Complete: len(j.done) == j.total,
+	}, true
+}
+
+// Complete reports whether every registered manifest is fully computed.
+func (c *Coordinator) Complete() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, j := range c.jobs {
+		if len(j.done) < j.total {
+			return false
+		}
+	}
+	return true
+}
+
+// Handler returns the coordinator's HTTP API:
+//
+//	GET  /v1/manifests        -> {"names": [...]}
+//	GET  /v1/manifest/{name}  -> the manifest JSON
+//	POST /v1/lease            -> LeaseRequest -> LeaseResponse
+//	POST /v1/result           -> ResultRequest -> 204
+//	GET  /v1/points/{name}    -> sorted [{index, result}, ...]
+//	GET  /v1/status/{name}    -> Status
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/manifests", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, struct {
+			Names []string `json:"names"`
+		}{c.Names()})
+	})
+	mux.HandleFunc("GET /v1/manifest/{name}", func(w http.ResponseWriter, r *http.Request) {
+		m, ok := c.Manifest(r.PathValue("name"))
+		if !ok {
+			http.Error(w, "unknown manifest", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, m)
+	})
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := c.Lease(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/result", func(w http.ResponseWriter, r *http.Request) {
+		var req ResultRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := c.PostResult(req); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/points/{name}", func(w http.ResponseWriter, r *http.Request) {
+		have, ok := c.Points(r.PathValue("name"))
+		if !ok {
+			http.Error(w, "unknown manifest", http.StatusNotFound)
+			return
+		}
+		recs := make([]manifest.Record, 0, len(have))
+		for i, res := range have {
+			recs = append(recs, manifest.Record{Index: i, Result: res})
+		}
+		sort.Slice(recs, func(a, b int) bool { return recs[a].Index < recs[b].Index })
+		writeJSON(w, recs)
+	})
+	mux.HandleFunc("GET /v1/status/{name}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := c.Status(r.PathValue("name"))
+		if !ok {
+			http.Error(w, "unknown manifest", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

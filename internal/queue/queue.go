@@ -1,0 +1,96 @@
+// Package queue turns a manifest into a distributed work-queue: a
+// Coordinator serves a set of manifests' points over HTTP as expiring
+// {manifest, index} leases, and Workers lease points, compute them with
+// nocsim.Run, and post the results back.
+//
+// The design leans entirely on the manifest layer's guarantees. Every
+// point is a self-contained, deterministic job (resolved grid + index +
+// per-point exp.Seed stream), so the coordinator never ships code or
+// state — only a name and an index — and a point computes bit-identically
+// wherever it runs. Results are journaled through the same
+// manifest.DirStore the offline path uses: a coordinator restarted over
+// its directory resumes from the journal exactly as a resumed local run
+// would, and the final journal is what cmd/figures reassembles tables
+// from.
+//
+// Fault model: a worker that leases a point and dies simply lets the
+// lease expire; the next Lease call re-issues the point. A worker that
+// was only slow and posts after expiry is harmless — the first result
+// for a point wins and duplicates are acknowledged without a second
+// journal line, so every point appears exactly once in the journal. The
+// coordinator caps only the number of outstanding leases; simulation
+// concurrency stays bounded per worker process by its own leaf budget
+// (exp.SetLeafBudget).
+//
+// The coordinator runs no background goroutines: expired leases are
+// pruned lazily inside each Lease call, so shutting the HTTP server down
+// leaves nothing behind.
+package queue
+
+import (
+	"time"
+
+	"repro/nocsim"
+)
+
+// Lease statuses returned by the coordinator.
+const (
+	// StatusLease grants one point: run it and post the result.
+	StatusLease = "lease"
+	// StatusWait means no point is currently available (all leased, or
+	// the lease cap is reached) but the work is not finished: back off
+	// and ask again.
+	StatusWait = "wait"
+	// StatusDone means every point of the requested scope is complete.
+	StatusDone = "done"
+)
+
+// LeaseRequest asks the coordinator for one point to compute.
+type LeaseRequest struct {
+	// Worker identifies the requester, for lease attribution and logs.
+	Worker string `json:"worker"`
+	// Name restricts the lease to one manifest; empty means any manifest
+	// the coordinator serves.
+	Name string `json:"name,omitempty"`
+}
+
+// LeaseResponse is the coordinator's answer to a lease request.
+type LeaseResponse struct {
+	// Status is one of StatusLease, StatusWait, StatusDone.
+	Status string `json:"status"`
+	// Name and Index identify the granted point when Status is
+	// StatusLease: the {manifest, index} pair that, with Manifest.Point,
+	// is the complete job description.
+	Name  string `json:"name,omitempty"`
+	Index int    `json:"index,omitempty"`
+	// Sum fingerprints the plan the lease belongs to. A worker whose
+	// cached manifest carries a different sum must re-fetch before
+	// computing — a coordinator restarted with different options would
+	// otherwise be handed results from a stale plan.
+	Sum string `json:"sum,omitempty"`
+	// Deadline is when the lease expires; a result posted later is still
+	// accepted (first result wins), but the point may be re-issued.
+	Deadline time.Time `json:"deadline,omitzero"`
+}
+
+// ResultRequest posts one computed point back to the coordinator.
+type ResultRequest struct {
+	Worker string `json:"worker"`
+	Name   string `json:"name"`
+	Index  int    `json:"index"`
+	// Sum is the plan fingerprint the result was computed against
+	// (echoed from the lease). The coordinator rejects a mismatch rather
+	// than journal a number from a different plan; empty skips the check
+	// (trusted in-process callers).
+	Sum    string        `json:"sum,omitempty"`
+	Result nocsim.Result `json:"result"`
+}
+
+// Status reports one manifest's progress.
+type Status struct {
+	Name     string `json:"name"`
+	Total    int    `json:"total"`
+	Done     int    `json:"done"`
+	Leased   int    `json:"leased"`
+	Complete bool   `json:"complete"`
+}

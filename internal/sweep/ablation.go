@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dvfs"
 	"repro/nocsim"
+	"repro/nocsim/manifest"
 )
 
 // This file holds the ablation studies beyond the paper's figures,
@@ -55,17 +56,17 @@ func ablationPeriods(quick bool) []int64 {
 	return []int64{1000, 2000, 5000, 10000, 20000, 50000}
 }
 
-func (o *Options) planPeriod(ctx context.Context) ([]Panel, error) {
+func (o *Options) planPeriod(ctx context.Context) ([]manifest.Panel, error) {
 	base, cal, err := o.calibrateBase(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rate := 0.5 * cal.SaturationRate
-	var panels []Panel
+	var panels []manifest.Panel
 	for _, period := range ablationPeriods(o.Quick) {
 		b := base
 		b.ControlPeriod = period
-		panels = append(panels, Panel{
+		panels = append(panels, manifest.Panel{
 			Label: fmt.Sprintf("p%d", period),
 			Grid:  singlePolicyGrid(b, cal, rate, nocsim.DMSD),
 		})
@@ -81,7 +82,7 @@ func AblationControlPeriod(ctx context.Context, o Options) ([]Table, error) {
 	return Tables(ctx, "period", o)
 }
 
-func renderPeriod(m *Manifest, results []nocsim.Result) []Table {
+func renderPeriod(m *manifest.Manifest, results []nocsim.Result) []Table {
 	cal := *m.Panels[0].Grid.Base.Calibration
 	t := Table{
 		ID:      "abl_period",
@@ -113,17 +114,17 @@ func ablationGains(quick bool) []struct{ KI, KP float64 } {
 	return gains
 }
 
-func (o *Options) planGains(ctx context.Context) ([]Panel, error) {
+func (o *Options) planGains(ctx context.Context) ([]manifest.Panel, error) {
 	base, cal, err := o.calibrateBase(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rate := 0.5 * cal.SaturationRate
-	var panels []Panel
+	var panels []manifest.Panel
 	for _, g := range ablationGains(o.Quick) {
 		b := base
 		b.KI, b.KP = g.KI, g.KP
-		panels = append(panels, Panel{
+		panels = append(panels, manifest.Panel{
 			Label: fmt.Sprintf("ki%g", g.KI),
 			Grid:  singlePolicyGrid(b, cal, rate, nocsim.DMSD),
 		})
@@ -138,7 +139,7 @@ func AblationGains(ctx context.Context, o Options) ([]Table, error) {
 	return Tables(ctx, "gains", o)
 }
 
-func renderGains(m *Manifest, results []nocsim.Result) []Table {
+func renderGains(m *manifest.Manifest, results []nocsim.Result) []Table {
 	cal := *m.Panels[0].Grid.Base.Calibration
 	t := Table{
 		ID:      "abl_gains",
@@ -164,17 +165,17 @@ func ablationLevelCounts(quick bool) []int {
 	return []int{0, 3, 5, 9}
 }
 
-func (o *Options) planLevels(ctx context.Context) ([]Panel, error) {
+func (o *Options) planLevels(ctx context.Context) ([]manifest.Panel, error) {
 	base, cal, err := o.calibrateBase(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rate := 0.5 * cal.SaturationRate
-	var panels []Panel
+	var panels []manifest.Panel
 	for _, n := range ablationLevelCounts(o.Quick) {
 		b := base
 		b.FreqLevels = n
-		panels = append(panels, Panel{
+		panels = append(panels, manifest.Panel{
 			Label: fmt.Sprintf("l%d", n),
 			Grid:  singlePolicyGrid(b, cal, rate, nocsim.RMSD, nocsim.DMSD),
 		})
@@ -189,7 +190,7 @@ func AblationDiscreteLevels(ctx context.Context, o Options) ([]Table, error) {
 	return Tables(ctx, "levels", o)
 }
 
-func renderLevels(m *Manifest, results []nocsim.Result) []Table {
+func renderLevels(m *manifest.Manifest, results []nocsim.Result) []Table {
 	cal := *m.Panels[0].Grid.Base.Calibration
 	t := Table{
 		ID:      "abl_levels",
@@ -197,7 +198,7 @@ func renderLevels(m *Manifest, results []nocsim.Result) []Table {
 		Columns: []string{"levels", "rmsd_delay_ns", "rmsd_power_mw", "dmsd_delay_ns", "dmsd_power_mw"},
 		Notes:   []string{calNote(cal), "levels=0 means continuous actuation"},
 	}
-	off := m.offsets()
+	off := m.Offsets()
 	for pi, panel := range m.Panels {
 		resR, resD := results[off[pi]], results[off[pi]+1] // policies: rmsd, dmsd
 		t.AddRow(float64(panel.Grid.Base.FreqLevels),
@@ -212,7 +213,7 @@ func ablationRoutings() []nocsim.Routing {
 	return []nocsim.Routing{nocsim.RoutingXY, nocsim.RoutingYX, nocsim.RoutingO1Turn}
 }
 
-func (o *Options) planRouting(ctx context.Context) ([]Panel, error) {
+func (o *Options) planRouting(ctx context.Context) ([]manifest.Panel, error) {
 	routings := ablationRoutings()
 	labels := make([]string, len(routings))
 	for i, r := range routings {
@@ -235,14 +236,14 @@ func AblationRouting(ctx context.Context, o Options) ([]Table, error) {
 	return Tables(ctx, "routing", o)
 }
 
-func renderRouting(m *Manifest, results []nocsim.Result) []Table {
+func renderRouting(m *manifest.Manifest, results []nocsim.Result) []Table {
 	t := Table{
 		ID:      "abl_routing",
 		Title:   "Three policies under different routing algorithms (load = 0.5 x saturation)",
 		Columns: []string{"routing", "sat", "nodvfs_mw", "rmsd_mw", "rmsd_delay_ns", "dmsd_mw", "dmsd_delay_ns"},
 		Notes:   []string{"routing encoded as 0=xy 1=yx 2=o1turn"},
 	}
-	off := m.offsets()
+	off := m.Offsets()
 	for pi, panel := range m.Panels {
 		cal := *panel.Grid.Base.Calibration
 		rs := results[off[pi]:off[pi+1]] // policies: nodvfs, rmsd, dmsd
@@ -253,13 +254,13 @@ func renderRouting(m *Manifest, results []nocsim.Result) []Table {
 	return []Table{t}
 }
 
-func (o *Options) planBreakdown(ctx context.Context) ([]Panel, error) {
+func (o *Options) planBreakdown(ctx context.Context) ([]manifest.Panel, error) {
 	base, cal, err := o.calibrateBase(ctx)
 	if err != nil {
 		return nil, err
 	}
 	rate := 0.5 * cal.SaturationRate
-	return []Panel{{
+	return []manifest.Panel{{
 		Label: "breakdown",
 		Grid:  singlePolicyGrid(base, cal, rate, nocsim.AllPolicies()...),
 	}}, nil
@@ -272,7 +273,7 @@ func PowerBreakdown(ctx context.Context, o Options) ([]Table, error) {
 	return Tables(ctx, "breakdown", o)
 }
 
-func renderBreakdown(m *Manifest, results []nocsim.Result) []Table {
+func renderBreakdown(m *manifest.Manifest, results []nocsim.Result) []Table {
 	cal := *m.Panels[0].Grid.Base.Calibration
 	t := Table{
 		ID:      "power_breakdown",

@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/dvfs"
 	"repro/internal/exp"
 	"repro/internal/volt"
 	"repro/nocsim"
+	"repro/nocsim/manifest"
 )
 
 // Options tunes the figure generators.
@@ -62,15 +64,64 @@ func Figures() []string {
 		"period", "gains", "levels", "routing", "breakdown"}
 }
 
+// ResolveFigures expands a comma-separated -fig list into manifest
+// figure names — the one vocabulary shared by cmd/figures and
+// cmd/nocsimd, so the same selection works against either. It accepts
+// the paper tokens (2, 4, 5, 6, 7, 8, 10, pi, summary, ablation),
+// manifest names (baseline, fig7, ..., breakdown), and "all", returning
+// the selected manifest figures in Figures() order plus whether the
+// analytic Fig. 5 (which has no simulation points) was requested.
+func ResolveFigures(list string) (figs []string, fig5 bool, err error) {
+	want := map[string]bool{}
+	for _, f := range strings.Split(list, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			want[f] = true
+		}
+	}
+	all := want["all"]
+	alias := map[string][]string{
+		"2": {"baseline"}, "4": {"baseline"}, "6": {"baseline"}, "summary": {"baseline"},
+		"7": {"fig7"}, "8": {"fig8"}, "10": {"fig10"},
+		"ablation": {"period", "gains", "levels", "routing", "breakdown"},
+		"5":        nil, // analytic: no manifest behind it
+	}
+	known := map[string]bool{}
+	for _, f := range Figures() {
+		known[f] = true
+	}
+	selected := map[string]bool{}
+	for tok := range want {
+		switch {
+		case tok == "all":
+		case known[tok]:
+			selected[tok] = true
+		default:
+			expansion, ok := alias[tok]
+			if !ok {
+				return nil, false, fmt.Errorf("sweep: unknown figure %q (want one of %v, paper tokens 2,4,5,6,7,8,10,pi,summary,ablation, or 'all')", tok, Figures())
+			}
+			for _, f := range expansion {
+				selected[f] = true
+			}
+		}
+	}
+	for _, f := range Figures() {
+		if all || selected[f] {
+			figs = append(figs, f)
+		}
+	}
+	return figs, all || want["5"], nil
+}
+
 // Plan builds the resolved-grid manifest of one figure: it runs the
 // calibrations the figure needs (fanning independent panels across the
 // worker pool) and pins them into the panels' grids, so every point of
 // the returned manifest is a self-contained, restartable job. Plan is
 // the only part of a figure run that is not resumable; it is also the
 // cheap part (a calibration per panel at most).
-func Plan(ctx context.Context, fig string, o Options) (*Manifest, error) {
+func Plan(ctx context.Context, fig string, o Options) (*manifest.Manifest, error) {
 	o.setDefaults()
-	var panels []Panel
+	var panels []manifest.Panel
 	var err error
 	switch fig {
 	case "baseline":
@@ -99,16 +150,16 @@ func Plan(ctx context.Context, fig string, o Options) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Manifest{Fig: fig, Quick: o.Quick, Points: o.Points, Seed: o.Seed, Panels: panels}, nil
+	return &manifest.Manifest{Name: fig, Quick: o.Quick, Points: o.Points, Seed: o.Seed, Panels: panels}, nil
 }
 
 // Render assembles a completed manifest's results (in point order) into
 // the figure's tables.
-func Render(m *Manifest, results []nocsim.Result) ([]Table, error) {
+func Render(m *manifest.Manifest, results []nocsim.Result) ([]Table, error) {
 	if n := m.NumPoints(); len(results) != n {
-		return nil, fmt.Errorf("sweep: rendering %s: %d results for %d points", m.Fig, len(results), n)
+		return nil, fmt.Errorf("sweep: rendering %s: %d results for %d points", m.Name, len(results), n)
 	}
-	switch m.Fig {
+	switch m.Name {
 	case "baseline":
 		var tables []Table
 		tables = append(tables, renderFig2(m, results)...)
@@ -131,7 +182,7 @@ func Render(m *Manifest, results []nocsim.Result) ([]Table, error) {
 	case "breakdown":
 		return renderBreakdown(m, results), nil
 	default:
-		return nil, fmt.Errorf("sweep: unknown figure %q", m.Fig)
+		return nil, fmt.Errorf("sweep: unknown figure %q", m.Name)
 	}
 }
 
@@ -162,7 +213,7 @@ func (o *Options) resolveComparison(ctx context.Context, base nocsim.Scenario, p
 // calibration is an independent sub-grid, and the panel jobs themselves
 // never hold leaf-budget slots, so however many run at once the
 // simulations below them stay capped.
-func (o *Options) planPanels(ctx context.Context, labels []string, build func(ctx context.Context, i int) (nocsim.Grid, error)) ([]Panel, error) {
+func (o *Options) planPanels(ctx context.Context, labels []string, build func(ctx context.Context, i int) (nocsim.Grid, error)) ([]manifest.Panel, error) {
 	grids, err := exp.Map(ctx, o.Workers, len(labels),
 		func(ctx context.Context, i int) (nocsim.Grid, error) {
 			g, err := build(ctx, i)
@@ -174,9 +225,9 @@ func (o *Options) planPanels(ctx context.Context, labels []string, build func(ct
 	if err != nil {
 		return nil, err
 	}
-	panels := make([]Panel, len(labels))
+	panels := make([]manifest.Panel, len(labels))
 	for i := range labels {
-		panels[i] = Panel{Label: labels[i], Grid: grids[i]}
+		panels[i] = manifest.Panel{Label: labels[i], Grid: grids[i]}
 	}
 	return panels, nil
 }
@@ -187,15 +238,15 @@ func (o *Options) nearSaturationLoads(cal nocsim.Calibration) []float64 {
 	return nocsim.LoadGrid(0.9*cal.SaturationRate, o.Points)
 }
 
-func (o *Options) planBaseline(ctx context.Context) ([]Panel, error) {
+func (o *Options) planBaseline(ctx context.Context) ([]manifest.Panel, error) {
 	g, err := o.resolveComparison(ctx, o.baseScenario(), nocsim.AllPolicies(), o.nearSaturationLoads)
 	if err != nil {
 		return nil, err
 	}
-	return []Panel{{Label: "uniform", Grid: g}}, nil
+	return []manifest.Panel{{Label: "uniform", Grid: g}}, nil
 }
 
-func (o *Options) planFig7(ctx context.Context) ([]Panel, error) {
+func (o *Options) planFig7(ctx context.Context) ([]manifest.Panel, error) {
 	patterns := nocsim.PaperPatterns()
 	return o.planPanels(ctx, patterns, func(ctx context.Context, i int) (nocsim.Grid, error) {
 		base := o.baseScenario()
@@ -233,7 +284,7 @@ func fig8Variants() (labels []string, mutate []func(*nocsim.Mesh)) {
 	return labels, mutate
 }
 
-func (o *Options) planFig8(ctx context.Context) ([]Panel, error) {
+func (o *Options) planFig8(ctx context.Context) ([]manifest.Panel, error) {
 	labels, mutate := fig8Variants()
 	return o.planPanels(ctx, labels, func(ctx context.Context, i int) (nocsim.Grid, error) {
 		base := o.baseScenario()
@@ -242,7 +293,7 @@ func (o *Options) planFig8(ctx context.Context) ([]Panel, error) {
 	})
 }
 
-func (o *Options) planFig10(ctx context.Context) ([]Panel, error) {
+func (o *Options) planFig10(ctx context.Context) ([]manifest.Panel, error) {
 	apps := nocsim.Apps()
 	labels := make([]string, len(apps))
 	for i, a := range apps {
@@ -261,7 +312,7 @@ func (o *Options) planFig10(ctx context.Context) ([]Panel, error) {
 	})
 }
 
-func (o *Options) planPI(ctx context.Context) ([]Panel, error) {
+func (o *Options) planPI(ctx context.Context) ([]manifest.Panel, error) {
 	base := o.baseScenario()
 	base.Transient = true
 	// Pin the paper's period explicitly: the transient's sample cadence
@@ -272,14 +323,14 @@ func (o *Options) planPI(ctx context.Context) ([]Panel, error) {
 	if err != nil {
 		return nil, err
 	}
-	return []Panel{{Label: "pi", Grid: g}}, nil
+	return []manifest.Panel{{Label: "pi", Grid: g}}, nil
 }
 
 // Bundle is the shared baseline study behind Figs. 2, 4 and 6: the same
 // scenario measured under all three policies over one rate grid, in
 // manifest form.
 type Bundle struct {
-	Manifest *Manifest
+	Manifest *manifest.Manifest
 	Results  []nocsim.Result
 	Options  Options
 }
@@ -292,7 +343,7 @@ func BaselineBundle(ctx context.Context, o Options) (*Bundle, error) {
 	if err != nil {
 		return nil, err
 	}
-	results, _, err := RunManifest(ctx, m, o.Workers, nil, nil, 0)
+	results, _, err := manifest.Run(ctx, m, o.Workers, nil, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -335,7 +386,7 @@ func calNote(cal nocsim.Calibration) string {
 // ns (b) against injection rate, exposing the non-monotonic RMSD delay.
 func Fig2(b *Bundle) []Table { return renderFig2(b.Manifest, b.Results) }
 
-func renderFig2(m *Manifest, results []nocsim.Result) []Table {
+func renderFig2(m *manifest.Manifest, results []nocsim.Result) []Table {
 	g := m.Panels[0].Grid
 	cal := *g.Base.Calibration
 	lat := Table{
@@ -364,7 +415,7 @@ func renderFig2(m *Manifest, results []nocsim.Result) []Table {
 // three policies.
 func Fig4(b *Bundle) []Table { return renderFig4(b.Manifest, b.Results) }
 
-func renderFig4(m *Manifest, results []nocsim.Result) []Table {
+func renderFig4(m *manifest.Manifest, results []nocsim.Result) []Table {
 	g := m.Panels[0].Grid
 	cal := *g.Base.Calibration
 	freq := Table{
@@ -413,7 +464,7 @@ func Fig5(o Options) []Table {
 // policies, with the paper's annotated ratios recomputed at 0.2.
 func Fig6(b *Bundle) []Table { return renderFig6(b.Manifest, b.Results) }
 
-func renderFig6(m *Manifest, results []nocsim.Result) []Table {
+func renderFig6(m *manifest.Manifest, results []nocsim.Result) []Table {
 	g := m.Panels[0].Grid
 	cal := *g.Base.Calibration
 	t := Table{
@@ -442,7 +493,7 @@ func renderFig6(m *Manifest, results []nocsim.Result) []Table {
 // scenario.
 func Summary(b *Bundle) []Table { return renderSummary(b.Manifest, b.Results) }
 
-func renderSummary(m *Manifest, results []nocsim.Result) []Table {
+func renderSummary(m *manifest.Manifest, results []nocsim.Result) []Table {
 	g := m.Panels[0].Grid
 	t := Table{
 		ID:    "summary",
@@ -482,12 +533,12 @@ func Fig10(ctx context.Context, o Options) ([]Table, error) { return Tables(ctx,
 
 // renderComparison renders a comparison figure (fig7/fig8/fig10): one
 // delay table and one power table per panel.
-func renderComparison(m *Manifest, results []nocsim.Result) []Table {
-	off := m.offsets()
+func renderComparison(m *manifest.Manifest, results []nocsim.Result) []Table {
+	off := m.Offsets()
 	var tables []Table
 	for pi, panel := range m.Panels {
-		ts := comparisonTables(m.Fig, panel.Label, panel.Grid, results[off[pi]:off[pi+1]])
-		if m.Fig == "fig10" {
+		ts := comparisonTables(m.Name, panel.Label, panel.Grid, results[off[pi]:off[pi+1]])
+		if m.Name == "fig10" {
 			for i := range ts {
 				ts[i].Columns[0] = "speed"
 				ts[i].Notes = append(ts[i].Notes, "speed 1.0 ≡ 75 frames/s in the paper's normalization")
@@ -536,7 +587,7 @@ func comparisonTables(figID, label string, g nocsim.Grid, results []nocsim.Resul
 // paper's stability and control-period claims (Sec. IV).
 func PIStep(ctx context.Context, o Options) ([]Table, error) { return Tables(ctx, "pi", o) }
 
-func renderPI(m *Manifest, results []nocsim.Result) []Table {
+func renderPI(m *manifest.Manifest, results []nocsim.Result) []Table {
 	g := m.Panels[0].Grid
 	res := results[0]
 	t := Table{

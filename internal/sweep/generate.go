@@ -1,0 +1,85 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"repro/nocsim"
+	"repro/nocsim/manifest"
+)
+
+// PlanOrResume returns the figure's manifest and its already-completed
+// points. With resume and a store holding a manifest planned under the
+// same options, the stored plan is reused (skipping calibration) and its
+// journaled points are loaded; a stored plan built under different
+// options is refused rather than mixed with incompatible points. Without
+// resume (or without a stored plan) the figure is planned fresh and —
+// when st is non-nil — persisted, invalidating any stale points.
+//
+// Both the local executor (Generate) and the queue coordinator's serve
+// path (cmd/nocsimd) start here, so a crashed coordinator resumes from
+// exactly the journal an interrupted local run would.
+func PlanOrResume(ctx context.Context, fig string, o Options, st *manifest.DirStore, resume bool) (*manifest.Manifest, map[int]nocsim.Result, error) {
+	o.setDefaults()
+	var m *manifest.Manifest
+	var err error
+	have := map[int]nocsim.Result{}
+	if st != nil && resume {
+		if m, err = st.LoadManifest(fig); err != nil {
+			return nil, nil, err
+		}
+		if m != nil {
+			if m.Quick != o.Quick || m.Points != o.Points || m.Seed != o.Seed {
+				return nil, nil, fmt.Errorf("sweep: stored %s manifest was planned with quick=%v points=%d seed=%d; re-run with those options or without -resume",
+					fig, m.Quick, m.Points, m.Seed)
+			}
+			if have, err = st.LoadPoints(fig); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if m == nil {
+		if m, err = Plan(ctx, fig, o); err != nil {
+			return nil, nil, err
+		}
+		if st != nil {
+			if err := st.SaveManifest(m); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	return m, have, nil
+}
+
+// Generate produces the tables of one manifest-backed figure end to end:
+// plan (or, with resume, reload) the manifest, run its missing points,
+// and render. With a non-nil store the manifest and every completed
+// point are persisted as the run proceeds — each journal line is flushed
+// and synced before the point counts as saved. When limit > 0 at most
+// that many new points are run; the figure is then left incomplete on
+// disk (complete=false, no tables) for a later resumed run to finish.
+func Generate(ctx context.Context, fig string, o Options, st *manifest.DirStore, resume bool, limit int) (tables []Table, complete bool, err error) {
+	o.setDefaults()
+	m, have, err := PlanOrResume(ctx, fig, o, st, resume)
+	if err != nil {
+		return nil, false, err
+	}
+	var save func(int, nocsim.Result) error
+	if st != nil {
+		j, err := st.Journal(fig)
+		if err != nil {
+			return nil, false, err
+		}
+		defer j.Close()
+		save = j.Append
+	}
+	results, complete, err := manifest.Run(ctx, m, o.Workers, have, save, limit)
+	if err != nil || !complete {
+		return nil, false, err
+	}
+	tables, err = Render(m, results)
+	if err != nil {
+		return nil, false, err
+	}
+	return tables, true, nil
+}

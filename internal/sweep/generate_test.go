@@ -9,118 +9,8 @@ import (
 
 	"repro/internal/exp"
 	"repro/nocsim"
+	"repro/nocsim/manifest"
 )
-
-func TestManifestPointResolution(t *testing.T) {
-	base := nocsim.Scenario{Mesh: nocsim.DefaultMesh(), Pattern: "uniform"}.Normalized()
-	base.Calibration = &nocsim.Calibration{SaturationRate: 0.6, LambdaMax: 0.6, TargetDelayNs: 100}
-	m := &Manifest{Fig: "figX", Panels: []Panel{
-		{Label: "a", Grid: nocsim.Grid{Base: base, Loads: []float64{0.1, 0.2}, Policies: nocsim.AllPolicies()}},
-		{Label: "b", Grid: nocsim.Grid{Base: base, Loads: []float64{0.3}, Policies: []nocsim.PolicyKind{nocsim.NoDVFS}}},
-	}}
-	if n := m.NumPoints(); n != 7 {
-		t.Fatalf("NumPoints = %d, want 7", n)
-	}
-	// Global indices 0..5 live in panel a, 6 in panel b.
-	for i, wantPanel := range []int{0, 0, 0, 0, 0, 0, 1} {
-		panel, sc, err := m.Point(i)
-		if err != nil {
-			t.Fatalf("Point(%d): %v", i, err)
-		}
-		if panel != wantPanel {
-			t.Errorf("Point(%d) panel = %d, want %d", i, panel, wantPanel)
-		}
-		if err := sc.Validate(); err != nil {
-			t.Errorf("Point(%d) scenario invalid: %v", i, err)
-		}
-	}
-	if _, _, err := m.Point(7); err == nil {
-		t.Error("Point(7) out of range, want error")
-	}
-	if _, _, err := m.Point(-1); err == nil {
-		t.Error("Point(-1), want error")
-	}
-}
-
-func TestDirStoreRoundTrip(t *testing.T) {
-	st, err := NewDirStore(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m, err := st.LoadManifest("figX"); err != nil || m != nil {
-		t.Fatalf("LoadManifest on empty store = (%v, %v), want (nil, nil)", m, err)
-	}
-	base := nocsim.Scenario{Mesh: nocsim.DefaultMesh(), Pattern: "uniform"}.Normalized()
-	base.Calibration = &nocsim.Calibration{SaturationRate: 0.6, LambdaMax: 0.6, TargetDelayNs: 100}
-	m := &Manifest{Fig: "figX", Points: 2, Seed: 1, Panels: []Panel{
-		{Label: "a", Grid: nocsim.Grid{Base: base, Loads: []float64{0.1, 0.2}, Policies: nocsim.AllPolicies()}},
-	}}
-	if err := st.SaveManifest(m); err != nil {
-		t.Fatal(err)
-	}
-	got, err := st.LoadManifest("figX")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(got, m) {
-		t.Errorf("manifest did not round-trip:\n got %+v\nwant %+v", got, m)
-	}
-
-	r := nocsim.Result{Scenario: base}
-	r.AvgDelayNs = 42
-	if err := st.AppendPoint("figX", 3, r); err != nil {
-		t.Fatal(err)
-	}
-	have, err := st.LoadPoints("figX")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(have) != 1 || have[3].AvgDelayNs != 42 {
-		t.Errorf("LoadPoints = %v, want point 3 with delay 42", have)
-	}
-
-	// A trailing partial line (crash mid-append) is dropped, not fatal.
-	f, err := os.OpenFile(st.pointsPath("figX"), os.O_WRONLY|os.O_APPEND, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.WriteString(`{"index":4,"result":{"avg_del`); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-	if have, err = st.LoadPoints("figX"); err != nil {
-		t.Fatal(err)
-	}
-	if len(have) != 1 {
-		t.Errorf("truncated tail not dropped: %d points", len(have))
-	}
-
-	// An append after the crash must not glue its record onto the partial
-	// tail: the dangling fragment is truncated away, and the file stays
-	// loadable even once further lines follow.
-	r2 := r
-	r2.AvgDelayNs = 7
-	if err := st.AppendPoint("figX", 5, r2); err != nil {
-		t.Fatal(err)
-	}
-	if err := st.AppendPoint("figX", 6, r2); err != nil {
-		t.Fatal(err)
-	}
-	if have, err = st.LoadPoints("figX"); err != nil {
-		t.Fatalf("LoadPoints after post-crash appends: %v", err)
-	}
-	if len(have) != 3 || have[5].AvgDelayNs != 7 || have[3].AvgDelayNs != 42 {
-		t.Errorf("post-crash appends corrupted the journal: %v", have)
-	}
-
-	// Re-saving the manifest invalidates recorded points.
-	if err := st.SaveManifest(m); err != nil {
-		t.Fatal(err)
-	}
-	if have, err = st.LoadPoints("figX"); err != nil || len(have) != 0 {
-		t.Errorf("stale points survived a manifest rewrite: (%v, %v)", have, err)
-	}
-}
 
 // TestGenerateStoreMatchesInMemory pins the migration contract of the
 // manifest machinery: a persisted, store-backed figure run renders
@@ -136,7 +26,7 @@ func TestGenerateStoreMatchesInMemory(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := NewDirStore(t.TempDir())
+	st, err := manifest.NewDirStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +86,7 @@ func TestResumeFillsOnlyGaps(t *testing.T) {
 	}
 	ctx := context.Background()
 	o := Options{Quick: true, Points: 2, Workers: 2}
-	st, err := NewDirStore(t.TempDir())
+	st, err := manifest.NewDirStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +96,7 @@ func TestResumeFillsOnlyGaps(t *testing.T) {
 	}
 
 	// Surgically drop every other recorded point.
-	path := st.pointsPath("baseline")
+	path := st.PointsPath("baseline")
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
@@ -267,7 +157,7 @@ func TestGenerateLimitAndResume(t *testing.T) {
 	}
 	ctx := context.Background()
 	o := Options{Quick: true, Points: 2, Workers: 2}
-	st, err := NewDirStore(t.TempDir())
+	st, err := manifest.NewDirStore(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -332,8 +222,8 @@ func TestNestedFig8PanelsRespectLeafBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := &Manifest{Fig: "fig8sub", Quick: true, Points: o.Points, Seed: o.Seed, Panels: panels}
-	if _, _, err := RunManifest(context.Background(), m, o.Workers, nil, nil, 0); err != nil {
+	m := &manifest.Manifest{Name: "fig8sub", Quick: true, Points: o.Points, Seed: o.Seed, Panels: panels}
+	if _, _, err := manifest.Run(context.Background(), m, o.Workers, nil, nil, 0); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/queue"
+	"repro/nocsim"
+)
+
+// remoteWait bounds how long GenerateRemote waits for the coordinator
+// to serve a figure's manifest. Generous — full-window planning runs a
+// calibration per panel — but finite, so a wrong URL or a figure the
+// coordinator was never asked to serve errors out instead of hanging.
+const remoteWait = 15 * time.Minute
+
+// GenerateRemote produces one figure's tables through a queue
+// coordinator instead of running the manifest in-process: it fetches the
+// figure's manifest (waiting for a coordinator that is still starting or
+// planning), verifies the plan matches the requested options, joins the
+// computation as one more worker until every point is posted, and then
+// reassembles the coordinator's journaled results into the same tables a
+// local run renders.
+//
+// Because every point is a self-contained deterministic job, the tables
+// are byte-identical to Generate on the same options no matter how the
+// points were spread across workers — including points whose first lease
+// died and was re-issued.
+func GenerateRemote(ctx context.Context, fig string, o Options, c *queue.Client) ([]Table, error) {
+	o.setDefaults()
+	m, err := c.WaitManifest(ctx, fig, remoteWait)
+	if err != nil {
+		return nil, err
+	}
+	if m.Quick != o.Quick || m.Points != o.Points || m.Seed != o.Seed {
+		return nil, fmt.Errorf("sweep: coordinator's %s manifest was planned with quick=%v points=%d seed=%d; re-run with those options",
+			fig, m.Quick, m.Points, m.Seed)
+	}
+	// Contribute as a worker scoped to this figure. Run returns only when
+	// the figure is complete — if other workers hold the last leases we
+	// poll until they post or their leases expire and we compute the
+	// points ourselves, so completion never hinges on anyone else staying
+	// alive.
+	w := &queue.Worker{Client: c, Workers: o.Workers, Name: fig}
+	if err := w.Run(ctx); err != nil {
+		return nil, err
+	}
+	have, err := c.Points(ctx, fig)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumPoints()
+	results := make([]nocsim.Result, n)
+	for i := 0; i < n; i++ {
+		r, ok := have[i]
+		if !ok {
+			return nil, fmt.Errorf("sweep: coordinator reported %s done but point %d is missing", fig, i)
+		}
+		results[i] = r
+	}
+	return Render(m, results)
+}

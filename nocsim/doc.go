@@ -57,4 +57,10 @@
 // recipe when no Calibration is attached, and record the resolved values
 // in their results; pin them with WithCalibration to skip the search —
 // in particular before shipping Grid points to remote workers.
+//
+// The nocsim/manifest subpackage builds on Grid: a Manifest bundles
+// resolved grids into one globally indexed list of points with a
+// crash-safe on-disk journal — the shared job layer behind restartable
+// figure runs and the distributed work-queue (internal/queue,
+// cmd/nocsimd).
 package nocsim

@@ -1,0 +1,216 @@
+package manifest
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/nocsim"
+)
+
+func testBase(t *testing.T) nocsim.Scenario {
+	t.Helper()
+	base := nocsim.Scenario{Mesh: nocsim.DefaultMesh(), Pattern: "uniform"}.Normalized()
+	base.Calibration = &nocsim.Calibration{SaturationRate: 0.6, LambdaMax: 0.6, TargetDelayNs: 100}
+	return base
+}
+
+func TestPointResolution(t *testing.T) {
+	base := testBase(t)
+	m := &Manifest{Name: "x", Panels: []Panel{
+		{Label: "a", Grid: nocsim.Grid{Base: base, Loads: []float64{0.1, 0.2}, Policies: nocsim.AllPolicies()}},
+		{Label: "b", Grid: nocsim.Grid{Base: base, Loads: []float64{0.3}, Policies: []nocsim.PolicyKind{nocsim.NoDVFS}}},
+	}}
+	if n := m.NumPoints(); n != 7 {
+		t.Fatalf("NumPoints = %d, want 7", n)
+	}
+	if off := m.Offsets(); !reflect.DeepEqual(off, []int{0, 6, 7}) {
+		t.Fatalf("Offsets = %v, want [0 6 7]", off)
+	}
+	// Global indices 0..5 live in panel a, 6 in panel b.
+	for i, wantPanel := range []int{0, 0, 0, 0, 0, 0, 1} {
+		panel, sc, err := m.Point(i)
+		if err != nil {
+			t.Fatalf("Point(%d): %v", i, err)
+		}
+		if panel != wantPanel {
+			t.Errorf("Point(%d) panel = %d, want %d", i, panel, wantPanel)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("Point(%d) scenario invalid: %v", i, err)
+		}
+	}
+	if _, _, err := m.Point(7); err == nil {
+		t.Error("Point(7) out of range, want error")
+	}
+	if _, _, err := m.Point(-1); err == nil {
+		t.Error("Point(-1), want error")
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, err := st.LoadManifest("x"); err != nil || m != nil {
+		t.Fatalf("LoadManifest on empty store = (%v, %v), want (nil, nil)", m, err)
+	}
+	base := testBase(t)
+	m := &Manifest{Name: "x", Points: 2, Seed: 1, Panels: []Panel{
+		{Label: "a", Grid: nocsim.Grid{Base: base, Loads: []float64{0.1, 0.2}, Policies: nocsim.AllPolicies()}},
+	}}
+	if err := st.SaveManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadManifest("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("manifest did not round-trip:\n got %+v\nwant %+v", got, m)
+	}
+
+	r := nocsim.Result{Scenario: base}
+	r.AvgDelayNs = 42
+	j, err := st.Journal("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(3, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	have, err := st.LoadPoints("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(have) != 1 || have[3].AvgDelayNs != 42 {
+		t.Errorf("LoadPoints = %v, want point 3 with delay 42", have)
+	}
+
+	// Re-saving the manifest invalidates recorded points.
+	if err := st.SaveManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	if have, err = st.LoadPoints("x"); err != nil || len(have) != 0 {
+		t.Errorf("stale points survived a manifest rewrite: (%v, %v)", have, err)
+	}
+}
+
+// TestJournalTornTail is the crash-safety contract of the points
+// journal: a torn final line (the process died mid-append) is skipped on
+// load without losing any earlier point, and the next Journal truncates
+// it away so later appends cannot merge into it.
+func TestJournalTornTail(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := testBase(t)
+	j, err := st.Journal("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := nocsim.Result{Scenario: base}
+	for i := 0; i < 3; i++ {
+		r.AvgDelayNs = float64(10 * (i + 1))
+		if err := j.Append(i, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the tail: a crash mid-append leaves a partial record with no
+	// trailing newline.
+	f, err := os.OpenFile(st.PointsPath("x"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"index":3,"result":{"avg_del`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	have, err := st.LoadPoints("x")
+	if err != nil {
+		t.Fatalf("LoadPoints with torn tail: %v", err)
+	}
+	if len(have) != 3 || have[0].AvgDelayNs != 10 || have[2].AvgDelayNs != 30 {
+		t.Errorf("torn tail lost earlier points: %v", have)
+	}
+
+	// A new journal truncates the torn tail before appending, so the file
+	// stays loadable once further lines follow.
+	j, err = st.Journal("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.AvgDelayNs = 40
+	if err := j.Append(3, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if have, err = st.LoadPoints("x"); err != nil {
+		t.Fatalf("LoadPoints after post-crash append: %v", err)
+	}
+	if len(have) != 4 || have[3].AvgDelayNs != 40 {
+		t.Errorf("post-crash append corrupted the journal: %v", have)
+	}
+	data, err := os.ReadFile(st.PointsPath("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 4 {
+		t.Errorf("journal holds %d lines, want 4 (torn tail replaced, one per point)", lines)
+	}
+}
+
+// TestLegacyFigKeyLoads pins backwards compatibility with manifest
+// files written before the identifier key was renamed "fig" -> "name":
+// they still load (Name filled from the legacy key), and a file with
+// neither key is rejected up front instead of failing at render time.
+func TestLegacyFigKeyLoads(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{Name: "fig8", Points: 2, Seed: 1, Panels: []Panel{
+		{Label: "a", Grid: nocsim.Grid{Base: testBase(t), Loads: []float64{0.1}}},
+	}}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy := strings.Replace(string(data), `"name":"fig8"`, `"fig":"fig8"`, 1)
+	if legacy == string(data) {
+		t.Fatal("test setup: name key not found to rewrite")
+	}
+	if err := os.WriteFile(st.ManifestPath("fig8"), []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.LoadManifest("fig8")
+	if err != nil {
+		t.Fatalf("legacy manifest failed to load: %v", err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("legacy manifest did not round-trip:\n got %+v\nwant %+v", got, m)
+	}
+
+	// No identifier under either key: refuse at load.
+	nameless := strings.Replace(string(data), `"name":"fig8"`, `"name":""`, 1)
+	if err := os.WriteFile(st.ManifestPath("bad"), []byte(nameless), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadManifest("bad"); err == nil {
+		t.Error("nameless manifest loaded, want error")
+	}
+}

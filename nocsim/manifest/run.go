@@ -1,0 +1,72 @@
+package manifest
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/exp"
+	"repro/nocsim"
+)
+
+// Run executes the manifest's points that are not already in have (keyed
+// by global point index), fanning them across the exp engine under the
+// given worker bound. Each completed point is handed to save (when
+// non-nil) before the call returns, so an interrupted run loses at most
+// the in-flight points. When limit > 0, at most limit missing points
+// (lowest indices first) are scheduled — the hook behind cmd/figures
+// -max-points and the CI resume smoke test.
+//
+// It returns the full results in point order and whether the manifest is
+// now complete; when incomplete (limit cut the run short), the result
+// slice holds zero values at the missing indices and must not be
+// rendered.
+func Run(ctx context.Context, m *Manifest, workers int, have map[int]nocsim.Result, save func(int, nocsim.Result) error, limit int) ([]nocsim.Result, bool, error) {
+	n := m.NumPoints()
+	var missing []int
+	for i := 0; i < n; i++ {
+		if _, ok := have[i]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	scheduled := missing
+	if limit > 0 && limit < len(missing) {
+		scheduled = missing[:limit]
+	}
+	var saveMu sync.Mutex
+	ran, err := exp.Map(ctx, workers, len(scheduled),
+		func(ctx context.Context, j int) (nocsim.Result, error) {
+			gi := scheduled[j]
+			_, sc, err := m.Point(gi)
+			if err != nil {
+				return nocsim.Result{}, err
+			}
+			r, err := nocsim.Run(ctx, sc)
+			if err != nil {
+				return nocsim.Result{}, fmt.Errorf("%s point %d: %w", m.Name, gi, err)
+			}
+			r.Meta.PointIndex = gi
+			if save != nil {
+				saveMu.Lock()
+				err = save(gi, r)
+				saveMu.Unlock()
+				if err != nil {
+					return nocsim.Result{}, fmt.Errorf("%s point %d: saving: %w", m.Name, gi, err)
+				}
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, false, err
+	}
+	results := make([]nocsim.Result, n)
+	for i, r := range have {
+		if i >= 0 && i < n {
+			results[i] = r
+		}
+	}
+	for j, r := range ran {
+		results[scheduled[j]] = r
+	}
+	return results, len(scheduled) == len(missing), nil
+}
