@@ -110,6 +110,7 @@ func main() {
 		resume      = flag.Bool("resume", false, "with -manifest: reuse stored manifests and completed points, running only the missing ones")
 		maxPoints   = flag.Int("max-points", 0, "stop each figure after this many new points (0 = no limit); for testing interrupted runs")
 		coordinator = flag.String("coordinator", "", "compute through this nocsimd coordinator URL and reassemble tables from its journal")
+		authToken   = cli.AuthTokenFlag("bearer token for a -coordinator that runs with -auth-token")
 	)
 	flag.Parse()
 
@@ -143,7 +144,7 @@ func main() {
 		if *manifestDir != "" || *resume || *maxPoints > 0 {
 			log.Fatal("-coordinator is exclusive with -manifest/-resume/-max-points: the coordinator owns the journal")
 		}
-		qc = &queue.Client{Base: strings.TrimRight(*coordinator, "/")}
+		qc = &queue.Client{Base: strings.TrimRight(*coordinator, "/"), Token: cli.AuthToken(*authToken)}
 	}
 	if *progress {
 		if qc != nil {

@@ -18,6 +18,16 @@
 // re-issued; results are bit-identical wherever a point executes, so the
 // tables reassembled from a distributed run match a single-process run
 // byte for byte (cmd/figures -coordinator does the reassembly).
+//
+// For real fleets: -auth-token SECRET (or NOCSIM_TOKEN in the
+// environment, which keeps the secret out of process listings) makes the
+// coordinator reject every request that doesn't carry the token as
+// "Authorization: Bearer SECRET" — pass the same flag/env to workers and
+// to figures/report -coordinator. GET /metrics serves Prometheus-format
+// counters (leases outstanding, points/s, re-issued leases, per-worker
+// attribution). Lease deadlines adapt to each manifest's observed point
+// latencies once enough have been seen; -lease-ttl is the fallback until
+// then.
 package main
 
 import (
@@ -50,24 +60,35 @@ func main() {
 		seed      = flag.Int64("seed", 1, "serve: random seed")
 		dir       = flag.String("manifest", "", "serve: journal manifests and posted points under this directory (enables crash resume)")
 		resume    = flag.Bool("resume", false, "serve: with -manifest, reuse stored manifests and journaled points")
-		leaseTTL  = flag.Duration("lease-ttl", 60*time.Second, "serve: lease time before an unanswered point is re-issued")
+		leaseTTL  = flag.Duration("lease-ttl", 60*time.Second, "serve: fallback lease time before an unanswered point is re-issued (adapts to observed point latencies once warmed up)")
 		maxLeases = flag.Int("max-leases", 1024, "serve: cap on outstanding leases across all manifests")
 		exitDone  = flag.Bool("exit-when-done", false, "serve: exit once every served manifest is complete")
 		workers   = cli.WorkersFlag("concurrent simulations in this process (planning calibrations in serve mode, leased points in worker mode)")
 		poll      = flag.Duration("poll", 500*time.Millisecond, "worker: back-off between lease attempts while no point is available")
+		authToken = cli.AuthTokenFlag("shared bearer token: serve mode requires it of every request, worker mode attaches it; empty disables auth")
 	)
 	flag.Parse()
 
 	if err := cli.CheckWorkers(*workers); err != nil {
 		log.Fatal(err)
 	}
+	// A zero or negative TTL would re-issue every lease immediately and a
+	// non-positive cap would grant no leases at all: refuse loudly at
+	// startup instead of silently substituting the library defaults.
+	if *leaseTTL <= 0 {
+		log.Fatalf("-lease-ttl must be positive (got %s)", *leaseTTL)
+	}
+	if *maxLeases <= 0 {
+		log.Fatalf("-max-leases must be positive (got %d)", *maxLeases)
+	}
+	token := cli.AuthToken(*authToken)
 	exp.SetLeafBudget(*workers)
 
 	ctx, stop := cli.SignalContext()
 	defer stop()
 
 	if *workerURL != "" {
-		if err := work(ctx, *workerURL, *workers, *poll); err != nil && ctx.Err() == nil {
+		if err := work(ctx, *workerURL, *workers, *poll, token); err != nil && ctx.Err() == nil {
 			log.Fatal(err)
 		}
 		return
@@ -75,15 +96,16 @@ func main() {
 	if err := serve(ctx, serveConfig{
 		addr: *addr, figs: *figs, dir: *dir, resume: *resume,
 		leaseTTL: *leaseTTL, maxLeases: *maxLeases, exitDone: *exitDone,
-		opts: sweep.Options{Quick: *quick, Points: *points, Seed: *seed, Workers: *workers},
+		authToken: token,
+		opts:      sweep.Options{Quick: *quick, Points: *points, Seed: *seed, Workers: *workers},
 	}); err != nil && ctx.Err() == nil {
 		log.Fatal(err)
 	}
 }
 
-func work(ctx context.Context, url string, workers int, poll time.Duration) error {
+func work(ctx context.Context, url string, workers int, poll time.Duration, token string) error {
 	w := &queue.Worker{
-		Client:  &queue.Client{Base: strings.TrimRight(url, "/")},
+		Client:  &queue.Client{Base: strings.TrimRight(url, "/"), Token: token},
 		Workers: workers,
 		Poll:    poll,
 		OnPoint: func(name string, index int) { log.Printf("posted %s point %d", name, index) },
@@ -104,6 +126,7 @@ type serveConfig struct {
 	leaseTTL  time.Duration
 	maxLeases int
 	exitDone  bool
+	authToken string
 	opts      sweep.Options
 }
 
@@ -137,7 +160,10 @@ func serve(ctx context.Context, cfg serveConfig) error {
 		return fmt.Errorf("-resume needs -manifest")
 	}
 
-	coord := queue.New(queue.Config{LeaseTTL: cfg.leaseTTL, MaxLeases: cfg.maxLeases, Store: store})
+	coord := queue.New(queue.Config{
+		LeaseTTL: cfg.leaseTTL, MaxLeases: cfg.maxLeases,
+		AuthToken: cfg.authToken, Store: store,
+	})
 	defer coord.Close()
 
 	// Bind before planning: workers and -coordinator clients can connect
@@ -149,7 +175,11 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	server := &http.Server{Handler: coord.Handler()}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.Serve(ln) }()
-	log.Printf("serving on %s", ln.Addr())
+	if cfg.authToken != "" {
+		log.Printf("serving on %s (bearer-token auth required; metrics at /metrics)", ln.Addr())
+	} else {
+		log.Printf("serving on %s (no auth token — any peer may lease and post; metrics at /metrics)", ln.Addr())
+	}
 
 	for _, fig := range figs {
 		m, have, err := sweep.PlanOrResume(ctx, fig, cfg.opts, store, cfg.resume)
@@ -167,7 +197,7 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	// really means done — before this, it would mean "planning not
 	// finished, wait for more work".
 	coord.Seal()
-	log.Printf("all %d manifest(s) planned; lease TTL %s, max %d outstanding leases",
+	log.Printf("all %d manifest(s) planned; fallback lease TTL %s (adapts to observed latencies), max %d outstanding leases",
 		len(figs), cfg.leaseTTL, cfg.maxLeases)
 
 	ticker := time.NewTicker(time.Second)

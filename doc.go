@@ -72,12 +72,27 @@
 //     for a point wins, so the journal holds each point exactly once,
 //     and a restarted coordinator resumes from its journal.
 //
+// The work-queue is hardened for untrusted fleets: -auth-token (or
+// $NOCSIM_TOKEN, kept out of process listings) makes the coordinator
+// demand "Authorization: Bearer <token>" on every request — workers and
+// -coordinator clients attach it, and wrong credentials fail fast with
+// 401 instead of retrying. GET /metrics exposes Prometheus-format
+// counters (leases outstanding, windowed points/s, re-issued leases,
+// per-worker attribution):
+//
+//	curl -H "Authorization: Bearer $NOCSIM_TOKEN" http://HOST:9090/metrics
+//
+// Lease deadlines adapt per manifest from observed point latencies
+// (decayed mean + variance, ~3×p95 clamped to [2s, 10m]); the static
+// -lease-ttl only serves until the estimate warms up.
+//
 // Since every point carries its own derived RNG stream, tables
 // reassembled from any mix of local, resumed and remote execution are
 // byte-identical — cmd/figures -coordinator URL and cmd/report
 // -coordinator URL join the computation as one more worker and render
 // from the journal; CI smoke-tests the equivalence with a worker killed
-// mid-run. See README.md for the quickstart.
+// mid-run and an unauthenticated worker rejected. See README.md for the
+// quickstart.
 //
 // Entry points: cmd/nocsim (single run or JSON scenario), cmd/figures
 // (regenerate the evaluation), cmd/capacity (saturation analysis),

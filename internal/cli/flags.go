@@ -3,6 +3,7 @@ package cli
 import (
 	"flag"
 	"fmt"
+	"os"
 	"runtime"
 )
 
@@ -21,4 +22,36 @@ func CheckWorkers(n int) error {
 		return fmt.Errorf("-workers must be positive (got %d); use 1 for serial", n)
 	}
 	return nil
+}
+
+// AuthTokenFlag registers the -auth-token flag shared by the queue
+// commands (coordinator, workers, -coordinator clients). Read the
+// parsed value with AuthToken, which falls back to $NOCSIM_TOKEN — the
+// env route keeps the secret out of process listings and shell history.
+// The flag's registered default stays empty on purpose: baking the env
+// value in would print the secret in -h output and in the usage text of
+// every flag-parse error.
+func AuthTokenFlag(usage string) *string {
+	return flag.String("auth-token", "", usage+" (default $NOCSIM_TOKEN)")
+}
+
+// AuthToken resolves the parsed -auth-token value after flag.Parse: the
+// flag when set, else $NOCSIM_TOKEN. An explicitly passed
+// -auth-token "" disables auth even with the env var exported — the
+// documented "empty = open" escape hatch — which is why the env
+// fallback only applies when the flag was not given at all.
+func AuthToken(flagValue string) string {
+	if flagValue != "" {
+		return flagValue
+	}
+	explicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "auth-token" {
+			explicit = true
+		}
+	})
+	if explicit {
+		return ""
+	}
+	return os.Getenv("NOCSIM_TOKEN")
 }

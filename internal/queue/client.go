@@ -18,10 +18,20 @@ import (
 // the requested manifest — possibly because it is still planning it.
 var ErrUnknownManifest = errors.New("queue: coordinator does not serve this manifest")
 
+// ErrUnauthorized reports that the coordinator rejected the request with
+// 401: it runs with -auth-token and this client's token is missing or
+// wrong. Credentials don't fix themselves — callers should fail fast
+// rather than retry (Worker and WaitManifest do).
+var ErrUnauthorized = errors.New("queue: coordinator rejected credentials (401 unauthorized)")
+
 // Client talks to a coordinator's HTTP API.
 type Client struct {
 	// Base is the coordinator's base URL, e.g. "http://10.0.0.7:9090".
 	Base string
+	// Token, when non-empty, is attached to every request as
+	// "Authorization: Bearer <token>" — the shared secret a coordinator
+	// started with -auth-token demands.
+	Token string
 	// HTTP overrides the transport; nil uses a client with a 30-second
 	// per-request timeout (every coordinator response is small and
 	// immediate — leases are granted or refused, never held open).
@@ -54,11 +64,18 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("%w (%s %s: %s)", ErrUnauthorized, method, path, bytes.TrimSpace(msg))
+	}
 	if resp.StatusCode == http.StatusNotFound {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("%w (%s %s: %s)", ErrUnknownManifest, method, path, bytes.TrimSpace(msg))
@@ -112,6 +129,10 @@ func (c *Client) WaitManifest(ctx context.Context, name string, timeout time.Dur
 		if err == nil {
 			return m, nil
 		}
+		if errors.Is(err, ErrUnauthorized) {
+			// Polling won't mint credentials; surface the 401 now.
+			return nil, fmt.Errorf("queue: waiting for manifest %q: %w", name, err)
+		}
 		if ctx.Err() != nil {
 			return nil, fmt.Errorf("queue: waiting for manifest %q: %w (last: %v)", name, ctx.Err(), err)
 		}
@@ -156,7 +177,7 @@ func (c *Client) PostResultRetry(ctx context.Context, req ResultRequest, attempt
 		if err = c.PostResult(ctx, req); err == nil {
 			return nil
 		}
-		if ctx.Err() != nil {
+		if ctx.Err() != nil || errors.Is(err, ErrUnauthorized) {
 			return err
 		}
 	}

@@ -2,11 +2,13 @@ package queue
 
 import (
 	"crypto/sha256"
+	"crypto/subtle"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -17,8 +19,10 @@ import (
 // Config tunes a Coordinator.
 type Config struct {
 	// LeaseTTL is how long a worker holds a leased point before it may be
-	// re-issued. Zero means 60 seconds — generous against full-window
-	// simulation points that take tens of seconds.
+	// re-issued — but only until the coordinator has observed enough of a
+	// manifest's point latencies to estimate its own TTL (see TTLFloor).
+	// Zero means 60 seconds — generous against full-window simulation
+	// points that take tens of seconds.
 	LeaseTTL time.Duration
 	// MaxLeases caps the number of outstanding leases across all
 	// manifests; further requests get StatusWait until a lease resolves
@@ -26,6 +30,17 @@ type Config struct {
 	// concurrency knob: how many sims actually run at once is each worker
 	// process's own leaf budget.
 	MaxLeases int
+	// TTLFloor and TTLCeil clamp the adaptive lease TTL the coordinator
+	// derives from observed point latencies (per manifest, decayed
+	// mean + variance; LeaseTTL is the fallback until warmed up). Zero
+	// means 2 seconds and 10 minutes.
+	TTLFloor time.Duration
+	TTLCeil  time.Duration
+	// AuthToken, when non-empty, requires every HTTP request — lease,
+	// post, status, metrics, all of them — to carry it as
+	// "Authorization: Bearer <token>"; anything else is answered 401.
+	// In-process method calls are unaffected (they are already trusted).
+	AuthToken string
 	// Store, when non-nil, journals every accepted result so a restarted
 	// coordinator resumes from disk (hand the loaded points to Add).
 	Store *manifest.DirStore
@@ -44,6 +59,7 @@ type Coordinator struct {
 	names  []string        // registration order, for fair scanning
 	jobs   map[string]*job // keyed by manifest name
 	sealed bool            // no more Adds coming (see Seal)
+	met    metricsState
 }
 
 type job struct {
@@ -53,7 +69,25 @@ type job struct {
 	done    map[int]nocsim.Result
 	pending map[int]bool // being journaled right now (c.mu released for the fsync)
 	leases  map[int]lease
-	journal *manifest.Journal // nil without a store
+	expired map[int]bool // lease expired; the next grant is a re-issue
+	// firstGrant remembers when each in-flight point was FIRST leased,
+	// surviving expiry and re-issue, so the latency fed to the adaptive
+	// TTL is first-grant to first-accepted-post. Measuring only live
+	// leases would be fatal: a too-short TTL estimate would expire every
+	// slow point's lease before its post, the slow latency would never be
+	// sampled, and the estimate could never recover. Across a re-issue
+	// this overestimates (it includes the dead worker's silence), which
+	// errs toward longer TTLs — the safe direction.
+	firstGrant map[int]time.Time
+	lat        ttlEstimator      // observed point latencies of this manifest
+	journal    *manifest.Journal // nil without a store
+}
+
+// ttlLocked is the TTL a lease granted now would get: adaptive once the
+// manifest's latency estimate has warmed up, the configured fallback
+// before. Callers hold c.mu.
+func (j *job) ttlLocked(cfg Config) time.Duration {
+	return j.lat.ttl(cfg.LeaseTTL, cfg.TTLFloor, cfg.TTLCeil)
 }
 
 type lease struct {
@@ -69,10 +103,26 @@ func New(cfg Config) *Coordinator {
 	if cfg.MaxLeases <= 0 {
 		cfg.MaxLeases = 1024
 	}
+	if cfg.TTLFloor <= 0 {
+		cfg.TTLFloor = 2 * time.Second
+	}
+	if cfg.TTLCeil <= 0 {
+		cfg.TTLCeil = 10 * time.Minute
+	}
+	if cfg.TTLCeil < cfg.TTLFloor {
+		cfg.TTLCeil = cfg.TTLFloor
+	}
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Coordinator{cfg: cfg, jobs: map[string]*job{}}
+	return &Coordinator{
+		cfg:  cfg,
+		jobs: map[string]*job{},
+		met: metricsState{
+			rate:    rateWindow{window: rateWindowSize},
+			workers: map[string]*workerStats{},
+		},
+	}
 }
 
 // Add registers a manifest and its already-completed points (from a
@@ -92,12 +142,14 @@ func (c *Coordinator) Add(m *manifest.Manifest, have map[int]nocsim.Result) erro
 		return err
 	}
 	j := &job{
-		m:       m,
-		sum:     sum,
-		total:   m.NumPoints(),
-		done:    map[int]nocsim.Result{},
-		pending: map[int]bool{},
-		leases:  map[int]lease{},
+		m:          m,
+		sum:        sum,
+		total:      m.NumPoints(),
+		done:       map[int]nocsim.Result{},
+		pending:    map[int]bool{},
+		leases:     map[int]lease{},
+		expired:    map[int]bool{},
+		firstGrant: map[int]time.Time{},
 	}
 	for i, r := range have {
 		if i >= 0 && i < j.total {
@@ -164,6 +216,7 @@ func (c *Coordinator) pruneLocked(now time.Time) int {
 		for i, l := range j.leases {
 			if !l.deadline.After(now) {
 				delete(j.leases, i)
+				j.expired[i] = true
 			}
 		}
 		outstanding += len(j.leases)
@@ -194,6 +247,7 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.Clock()
+	c.met.touchWorkerLocked(req.Worker, now) // every lease request is a heartbeat
 	outstanding := c.pruneLocked(now)
 
 	scope := c.names
@@ -231,7 +285,14 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	for _, name := range scope {
 		j := c.jobs[name]
 		if i := j.freeLocked(); i >= 0 {
-			deadline := now.Add(c.cfg.LeaseTTL)
+			if j.expired[i] {
+				c.met.reissuedTotal++
+				delete(j.expired, i)
+			}
+			if _, ok := j.firstGrant[i]; !ok {
+				j.firstGrant[i] = now
+			}
+			deadline := now.Add(j.ttlLocked(c.cfg))
 			j.leases[i] = lease{worker: req.Worker, deadline: deadline}
 			return LeaseResponse{Status: StatusLease, Name: name, Index: i, Sum: j.sum, Deadline: deadline}, nil
 		}
@@ -252,6 +313,8 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 // a concurrent duplicate from writing a second line meanwhile.
 func (c *Coordinator) PostResult(req ResultRequest) error {
 	c.mu.Lock()
+	now := c.cfg.Clock()
+	c.met.touchWorkerLocked(req.Worker, now)
 	j, ok := c.jobs[req.Name]
 	if !ok {
 		c.mu.Unlock()
@@ -265,6 +328,7 @@ func (c *Coordinator) PostResult(req ResultRequest) error {
 		// The worker computed against a different plan (a coordinator
 		// restarted with new options between its lease and its post):
 		// journaling it would silently corrupt the tables.
+		c.met.staleRejected++
 		c.mu.Unlock()
 		return fmt.Errorf("queue: %s result computed against plan %s, serving %s; re-lease", req.Name, req.Sum, j.sum)
 	}
@@ -286,6 +350,18 @@ func (c *Coordinator) PostResult(req ResultRequest) error {
 	if err == nil {
 		j.done[req.Index] = req.Result
 		delete(j.leases, req.Index)
+		delete(j.expired, req.Index)
+		if t0, ok := j.firstGrant[req.Index]; ok {
+			// First grant to first accepted post: the latency sample that
+			// feeds the adaptive TTL (see the firstGrant field comment).
+			j.lat.observe(now.Sub(t0))
+			delete(j.firstGrant, req.Index)
+		}
+		c.met.completedTotal++
+		c.met.rate.observe(now)
+		if ws := c.met.touchWorkerLocked(req.Worker, now); ws != nil {
+			ws.points++
+		}
 	}
 	c.mu.Unlock()
 	if err != nil {
@@ -338,11 +414,12 @@ func (c *Coordinator) Status(name string) (Status, bool) {
 		return Status{}, false
 	}
 	return Status{
-		Name:     name,
-		Total:    j.total,
-		Done:     len(j.done),
-		Leased:   len(j.leases),
-		Complete: len(j.done) == j.total,
+		Name:       name,
+		Total:      j.total,
+		Done:       len(j.done),
+		Leased:     len(j.leases),
+		Complete:   len(j.done) == j.total,
+		TTLSeconds: j.ttlLocked(c.cfg).Seconds(),
 	}, true
 }
 
@@ -366,6 +443,10 @@ func (c *Coordinator) Complete() bool {
 //	POST /v1/result           -> ResultRequest -> 204
 //	GET  /v1/points/{name}    -> sorted [{index, result}, ...]
 //	GET  /v1/status/{name}    -> Status
+//	GET  /metrics             -> Prometheus text format (see metrics.go)
+//
+// With Config.AuthToken set, every route — /metrics included — demands
+// "Authorization: Bearer <token>" and answers 401 otherwise.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/manifests", func(w http.ResponseWriter, r *http.Request) {
@@ -427,7 +508,30 @@ func (c *Coordinator) Handler() http.Handler {
 		}
 		writeJSON(w, st)
 	})
-	return mux
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		c.writeMetrics(w)
+	})
+	if c.cfg.AuthToken == "" {
+		return mux
+	}
+	return requireToken(c.cfg.AuthToken, mux)
+}
+
+// requireToken demands "Authorization: Bearer <token>" on every request.
+// The comparison is constant-time; a miss gets 401 with a WWW-Authenticate
+// challenge so curl/worker logs show exactly what was expected.
+func requireToken(token string, next http.Handler) http.Handler {
+	want := []byte(token)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !ok || subtle.ConstantTimeCompare([]byte(got), want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="nocsimd"`)
+			http.Error(w, "401 unauthorized: missing or wrong bearer token (coordinator runs with -auth-token)", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

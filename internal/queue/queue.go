@@ -25,6 +25,19 @@
 // The coordinator runs no background goroutines: expired leases are
 // pruned lazily inside each Lease call, so shutting the HTTP server down
 // leaves nothing behind.
+//
+// Fleet hardening: with Config.AuthToken set the whole HTTP surface
+// demands "Authorization: Bearer <token>" (Client.Token attaches it; a
+// 401 is fatal for a Worker — wrong credentials never retry). GET
+// /metrics exposes Prometheus-text counters: leases outstanding,
+// completed points and a windowed points/s, re-issued leases, rejected
+// stale posts, and per-worker attribution keyed by the worker id already
+// carried in every lease and post. Lease TTLs adapt per manifest: the
+// coordinator folds each observed lease-to-post latency into a decayed
+// mean/variance and grants deadlines of roughly 3·p95, clamped to
+// [Config.TTLFloor, Config.TTLCeil], so quick points re-issue in seconds
+// while heavy full-window points aren't double-computed; the configured
+// LeaseTTL only serves until the estimate warms up.
 package queue
 
 import (
@@ -93,4 +106,8 @@ type Status struct {
 	Done     int    `json:"done"`
 	Leased   int    `json:"leased"`
 	Complete bool   `json:"complete"`
+	// TTLSeconds is the lease TTL a point of this manifest would be
+	// granted right now: the adaptive estimate once the coordinator has
+	// observed enough point latencies, the configured fallback before.
+	TTLSeconds float64 `json:"ttl_seconds"`
 }

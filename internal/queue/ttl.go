@@ -1,0 +1,82 @@
+package queue
+
+import (
+	"math"
+	"time"
+)
+
+// Adaptive lease TTLs. A static -lease-ttl has to be guessed against the
+// slowest point anyone will ever serve: set it for quick-mode points and
+// full-window runs double-compute every heavy point; set it for
+// full-window points and a crashed worker's quick points sit unleased
+// for a minute. Instead the coordinator measures how long this
+// manifest's points actually take (lease grant to accepted post) and
+// sets each new lease's deadline from the estimate — quick points
+// re-issue in seconds, heavy points get the headroom they need. The
+// configured TTL remains the fallback until enough samples exist.
+const (
+	// ttlWarmup is how many latencies a manifest must have observed
+	// before the estimate replaces the configured fallback TTL.
+	ttlWarmup = 8
+	// ttlAlpha is the decay of the exponentially weighted mean/variance:
+	// high enough to track a drifting fleet (thermal throttling, noisy
+	// neighbours), low enough that one straggler doesn't triple the TTL.
+	ttlAlpha = 0.25
+	// ttlSafety multiplies the upper latency estimate: a lease should
+	// only expire on a genuinely dead worker, never on an honest slow
+	// one, because expiry means double-computing the point.
+	ttlSafety = 3.0
+	// ttlMaxDecay shrinks the remembered worst latency a little with
+	// every new sample, so a one-off straggler (network hiccup, swapped
+	// host) loosens its grip over ~a hundred points instead of pinning
+	// the TTL high forever.
+	ttlMaxDecay = 0.97
+)
+
+// ttlEstimator tracks one manifest's observed point latencies as an
+// exponentially decayed mean and variance. It is not safe for concurrent
+// use; the coordinator guards it with its own mutex.
+type ttlEstimator struct {
+	n       int     // latencies observed
+	mean    float64 // decayed mean, seconds
+	vari    float64 // decayed variance, seconds^2
+	maxSeen float64 // slowly decayed worst latency, seconds
+}
+
+// observe folds one lease-to-post latency into the estimate.
+func (e *ttlEstimator) observe(d time.Duration) {
+	x := d.Seconds()
+	if e.n == 0 {
+		e.mean = x
+	} else {
+		diff := x - e.mean
+		incr := ttlAlpha * diff
+		e.mean += incr
+		e.vari = (1 - ttlAlpha) * (e.vari + diff*incr)
+	}
+	e.maxSeen = math.Max(x, e.maxSeen*ttlMaxDecay)
+	e.n++
+}
+
+// ttl returns the lease TTL to grant now: the configured fallback until
+// warmed up, then safety × (mean + 2σ) — roughly k·p95 of the observed
+// latency distribution — clamped to [floor, ceil]. The (decayed) worst
+// latency seen is an extra lower bound: in a manifest that mixes quick
+// and heavy points, the EWMA drifts back toward the quick majority
+// between heavy samples, and without the bound the TTL would dip below
+// the heavy points' known compute time and expire every one of their
+// leases mid-compute.
+func (e *ttlEstimator) ttl(fallback, floor, ceil time.Duration) time.Duration {
+	if e.n < ttlWarmup {
+		return fallback
+	}
+	est := math.Max(ttlSafety*(e.mean+2*math.Sqrt(e.vari)), e.maxSeen)
+	d := time.Duration(est * float64(time.Second))
+	if d < floor {
+		d = floor
+	}
+	if d > ceil {
+		d = ceil
+	}
+	return d
+}

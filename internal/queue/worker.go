@@ -2,6 +2,7 @@ package queue
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"runtime"
@@ -139,6 +140,12 @@ func (w *Worker) loop(ctx context.Context) error {
 	fail := func(err error) (bool, error) {
 		if ctx.Err() != nil {
 			return true, ctx.Err()
+		}
+		if errors.Is(err, ErrUnauthorized) {
+			// Wrong or missing credentials are a configuration error, not
+			// a transient hiccup: retrying would hammer the coordinator
+			// with requests it will never accept.
+			return true, fmt.Errorf("queue: worker %s: %w", id, err)
 		}
 		consecutive++
 		if consecutive >= w.maxErrors() {
