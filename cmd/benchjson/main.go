@@ -8,12 +8,25 @@
 // values like delay-ratio-rmsd/dmsd). Non-benchmark lines (PASS, ok,
 // package headers) are skipped; a FAIL line makes the exit status
 // non-zero so CI does not archive a broken baseline.
+//
+// With -baseline FILE the new record is additionally diffed against a
+// previously committed record, and the exit status is non-zero when any
+// benchmark present in both regressed by more than -tolerance on the
+// compared metric (default ns/op):
+//
+//	go test ... -bench . ./... | benchjson -baseline BENCH_5.json > BENCH_6.json
+//
+// Benchmarks that exist on only one side are reported but never fail the
+// gate, so adding or retiring benchmarks does not require touching the
+// baseline in the same change.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -63,7 +76,9 @@ func parseLine(line string) (Entry, bool) {
 	return e, true
 }
 
-func main() {
+// parse consumes bench text from r into a Record, reporting whether a FAIL
+// line was seen.
+func parse(r io.Reader) (Record, bool, error) {
 	rec := Record{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -72,7 +87,7 @@ func main() {
 		Entries:   []Entry{},
 	}
 	failed := false
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -83,7 +98,74 @@ func main() {
 			rec.Entries = append(rec.Entries, e)
 		}
 	}
-	if err := sc.Err(); err != nil {
+	return rec, failed, sc.Err()
+}
+
+// metric returns the entry's value for unit, if reported.
+func (e Entry) metric(unit string) (float64, bool) {
+	v, ok := e.Metrics[unit]
+	return v, ok
+}
+
+// baseName strips the -cpu suffix so records taken on machines with
+// different core counts still line up ("BenchmarkFoo-8" -> "BenchmarkFoo").
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// diff compares cur against base on the given metric. A benchmark regresses
+// when cur > base*tolerance; it returns the number of regressions and
+// writes a human-readable report to w.
+func diff(w io.Writer, base, cur Record, unit string, tolerance float64) int {
+	baseBy := map[string]Entry{}
+	for _, e := range base.Entries {
+		baseBy[baseName(e.Name)] = e
+	}
+	regressions := 0
+	for _, e := range cur.Entries {
+		name := baseName(e.Name)
+		b, ok := baseBy[name]
+		if !ok {
+			fmt.Fprintf(w, "  new       %-46s (no baseline)\n", name)
+			continue
+		}
+		delete(baseBy, name)
+		cv, cok := e.metric(unit)
+		bv, bok := b.metric(unit)
+		if !cok || !bok || bv == 0 {
+			continue
+		}
+		ratio := cv / bv
+		switch {
+		case ratio > tolerance:
+			regressions++
+			fmt.Fprintf(w, "  REGRESSED %-46s %12.4g -> %12.4g %s (%.2fx > %.2fx tolerance)\n",
+				name, bv, cv, unit, ratio, tolerance)
+		case ratio < 1/tolerance:
+			fmt.Fprintf(w, "  improved  %-46s %12.4g -> %12.4g %s (%.2fx)\n", name, bv, cv, unit, ratio)
+		default:
+			fmt.Fprintf(w, "  ok        %-46s %12.4g -> %12.4g %s (%.2fx)\n", name, bv, cv, unit, ratio)
+		}
+	}
+	for name := range baseBy {
+		fmt.Fprintf(w, "  retired   %-46s (in baseline only)\n", name)
+	}
+	return regressions
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline record to diff against; regressions fail the exit status")
+	unit := flag.String("metric", "ns/op", "metric compared against the baseline")
+	tolerance := flag.Float64("tolerance", 3.0, "regression threshold as a current/baseline ratio")
+	flag.Parse()
+
+	rec, failed, err := parse(os.Stdin)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -100,5 +182,22 @@ func main() {
 	if len(rec.Entries) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		var base Record
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: bad baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: diff vs %s (%s, tolerance %.2fx):\n", *baseline, *unit, *tolerance)
+		if n := diff(os.Stderr, base, rec, *unit, *tolerance); n > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed\n", n)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	e, ok := parseLine("BenchmarkFoo-8 \t 12  345.6 ns/op  7 B/op")
+	if !ok {
+		t.Fatal("rejected a valid benchmark line")
+	}
+	if e.Name != "BenchmarkFoo-8" || e.Iterations != 12 {
+		t.Errorf("parsed %+v", e)
+	}
+	if e.Metrics["ns/op"] != 345.6 || e.Metrics["B/op"] != 7 {
+		t.Errorf("metrics %v", e.Metrics)
+	}
+	for _, bad := range []string{"ok  repro/internal/noc 0.3s", "PASS", "Benchmark", "BenchmarkX notanumber"} {
+		if _, ok := parseLine(bad); ok {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseDetectsFail(t *testing.T) {
+	rec, failed, err := parse(strings.NewReader("BenchmarkA 1 5 ns/op\nFAIL\trepro/x 0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("FAIL line not detected")
+	}
+	if len(rec.Entries) != 1 {
+		t.Errorf("entries = %d, want 1", len(rec.Entries))
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkFoo-8":      "BenchmarkFoo",
+		"BenchmarkFoo-128":    "BenchmarkFoo",
+		"BenchmarkFoo":        "BenchmarkFoo",
+		"BenchmarkFig2_RMSD":  "BenchmarkFig2_RMSD",
+		"BenchmarkSub/case-4": "BenchmarkSub/case",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func mkRecord(entries ...Entry) Record { return Record{Entries: entries} }
+
+func entry(name string, ns float64) Entry {
+	return Entry{Name: name, Iterations: 1, Metrics: map[string]float64{"ns/op": ns}}
+}
+
+func TestDiffGate(t *testing.T) {
+	base := mkRecord(entry("BenchmarkA-8", 100), entry("BenchmarkB-8", 100), entry("BenchmarkGone-8", 1))
+	var out strings.Builder
+
+	// Within tolerance and improved: no regressions.
+	cur := mkRecord(entry("BenchmarkA-4", 250), entry("BenchmarkB-4", 10), entry("BenchmarkNew-4", 1))
+	if n := diff(&out, base, cur, "ns/op", 3.0); n != 0 {
+		t.Errorf("regressions = %d, want 0\n%s", n, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"BenchmarkNew", "no baseline", "BenchmarkGone", "in baseline only", "improved"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Beyond tolerance: gate trips.
+	out.Reset()
+	cur = mkRecord(entry("BenchmarkA-8", 301))
+	if n := diff(&out, base, cur, "ns/op", 3.0); n != 1 {
+		t.Errorf("regressions = %d, want 1\n%s", n, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Errorf("report missing REGRESSED:\n%s", out.String())
+	}
+
+	// Missing metric on either side is skipped, not a crash or a failure.
+	out.Reset()
+	cur = mkRecord(Entry{Name: "BenchmarkA-8", Metrics: map[string]float64{"rmsd/x": 1}})
+	if n := diff(&out, base, cur, "ns/op", 3.0); n != 0 {
+		t.Errorf("regressions = %d, want 0 for missing metric", n)
+	}
+}

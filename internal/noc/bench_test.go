@@ -6,11 +6,14 @@ import (
 )
 
 // benchStep measures Network.Step cost at a given packet-generation
-// probability per node per cycle.
-func benchStep(b *testing.B, pktProb float64) {
+// probability per node per cycle. naive disables the skip-ahead and
+// active-list fast paths, so the *Naive variants quantify their win.
+func benchStep(b *testing.B, pktProb float64, naive bool) {
 	cfg := DefaultConfig()
 	n, _ := NewNetwork(cfg)
+	n.SetSkipAhead(!naive)
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for s := 0; s < cfg.Nodes(); s++ {
@@ -26,7 +29,12 @@ func benchStep(b *testing.B, pktProb float64) {
 	}
 }
 
-func BenchmarkNetworkStepIdle(b *testing.B)     { benchStep(b, 0) }
-func BenchmarkNetworkStepLight(b *testing.B)    { benchStep(b, 0.002) } // ~0.04 flits/node/cycle
-func BenchmarkNetworkStepModerate(b *testing.B) { benchStep(b, 0.01) }  // ~0.2 flits/node/cycle
-func BenchmarkNetworkStepHeavy(b *testing.B)    { benchStep(b, 0.02) }  // ~0.4 flits/node/cycle
+func BenchmarkNetworkStepIdle(b *testing.B)     { benchStep(b, 0, false) }
+func BenchmarkNetworkStepLight(b *testing.B)    { benchStep(b, 0.002, false) } // ~0.04 flits/node/cycle
+func BenchmarkNetworkStepModerate(b *testing.B) { benchStep(b, 0.01, false) }  // ~0.2 flits/node/cycle
+func BenchmarkNetworkStepHeavy(b *testing.B)    { benchStep(b, 0.02, false) }  // ~0.4 flits/node/cycle
+
+// Naive variants: every router and source stepped every cycle, no
+// quiescent skip. The Idle pair is the headline skip-ahead comparison.
+func BenchmarkNetworkStepIdleNaive(b *testing.B)     { benchStep(b, 0, true) }
+func BenchmarkNetworkStepModerateNaive(b *testing.B) { benchStep(b, 0.01, true) }

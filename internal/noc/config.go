@@ -82,6 +82,10 @@ func (c Config) Validate() error {
 	if c.VCs < 1 {
 		errs = append(errs, fmt.Errorf("need at least 1 virtual channel, got %d", c.VCs))
 	}
+	if c.VCs > 64 {
+		// Router allocators track per-port VC occupancy in 64-bit masks.
+		errs = append(errs, fmt.Errorf("at most 64 virtual channels are supported, got %d", c.VCs))
+	}
 	if c.BufDepth < 1 {
 		errs = append(errs, fmt.Errorf("need at least 1 buffer slot per VC, got %d", c.BufDepth))
 	}

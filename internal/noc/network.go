@@ -1,6 +1,9 @@
 package noc
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // flitEvent is a flit in flight on a link, to be delivered at Cycle.
 type flitEvent struct {
@@ -26,6 +29,16 @@ type ejectEvent struct {
 // Network is the complete mesh fabric: routers, links, and per-node
 // injection sources. It advances strictly one network clock cycle per Step
 // call; real-time semantics under DVFS are handled by the caller.
+//
+// Step is optimized for the common case of a lightly loaded or quiescent
+// fabric: it maintains id-ordered work lists of routers and sources that
+// currently hold work, and when the whole network is quiescent (nothing
+// buffered, staged, or queued) it advances the clock in O(1) — the
+// skip-ahead fast path. Both optimizations are exact: an idle router or
+// source's step is a guaranteed no-op, and the work lists are kept in node
+// id order so every staged event (and therefore every OnArrive callback)
+// fires in exactly the order the naive all-routers loop would produce.
+// SetSkipAhead(false) restores the naive loop for tests and benchmarks.
 type Network struct {
 	cfg     Config
 	routers []*Router
@@ -43,8 +56,26 @@ type Network struct {
 	stagedEjects   []ejectEvent
 	pendingEjects  []ejectEvent
 
+	// activeRouters and activeSources are the work lists, kept sorted by
+	// node id (see the type comment for why ordering matters).
+	activeRouters []*Router
+	activeSources []*source
+
+	// fullStep disables the skip-ahead fast path and the work lists,
+	// restoring the naive iterate-everything loop.
+	fullStep bool
+
+	// flitFree and packetFree are free lists recycling Flit and Packet
+	// objects on tail ejection, keeping the steady-state hot path
+	// allocation-free. Callers of OnArrive must not retain the *Packet
+	// beyond the callback (copy what they need; see trace.Log.AddPacket).
+	flitFree   []*Flit
+	packetFree []*Packet
+
 	// OnArrive, if non-nil, is invoked when a packet's tail flit is
-	// ejected. The cycle argument is the ejection cycle.
+	// ejected. The cycle argument is the ejection cycle. The packet is
+	// recycled when the callback returns: implementations must copy any
+	// fields they keep.
 	OnArrive func(p *Packet, cycle int64)
 
 	nextPacketID int64
@@ -66,6 +97,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 	nodes := cfg.Nodes()
 	n.routers = make([]*Router, nodes)
 	n.sources = make([]*source, nodes)
+	n.activeRouters = make([]*Router, 0, nodes)
+	n.activeSources = make([]*source, 0, nodes)
 	for id := 0; id < nodes; id++ {
 		n.routers[id] = newRouter(n, NodeID(id))
 	}
@@ -92,16 +125,87 @@ func (n *Network) Cycle() int64 { return n.cycle }
 // Router returns the router at node id.
 func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
 
+// SetSkipAhead enables or disables the quiescent fast path and the active
+// work lists (both are on by default). With skip-ahead disabled, Step
+// iterates every router and source every cycle — the naive loop. Results
+// are bit-identical either way; the knob exists so tests can assert that
+// and benchmarks can measure the difference.
+func (n *Network) SetSkipAhead(on bool) { n.fullStep = !on }
+
+// Quiescent reports whether the network holds no work at all: no flits
+// buffered or in flight, no staged credits, and no source with queued or
+// partially sent packets. A quiescent Step only advances the clock.
+func (n *Network) Quiescent() bool {
+	return len(n.stagedFlits) == 0 && len(n.stagedCredits) == 0 &&
+		len(n.stagedEjects) == 0 && len(n.activeRouters) == 0 &&
+		len(n.activeSources) == 0
+}
+
+// activateRouter inserts r into the active work list, keeping it sorted by
+// node id. Callers must check r.active first.
+func (n *Network) activateRouter(r *Router) {
+	r.active = true
+	i := sort.Search(len(n.activeRouters), func(i int) bool {
+		return n.activeRouters[i].id >= r.id
+	})
+	n.activeRouters = append(n.activeRouters, nil)
+	copy(n.activeRouters[i+1:], n.activeRouters[i:])
+	n.activeRouters[i] = r
+}
+
+// activateSource inserts s into the active work list, keeping it sorted by
+// node id. Callers must check s.active first.
+func (n *Network) activateSource(s *source) {
+	s.active = true
+	i := sort.Search(len(n.activeSources), func(i int) bool {
+		return n.activeSources[i].node >= s.node
+	})
+	n.activeSources = append(n.activeSources, nil)
+	copy(n.activeSources[i+1:], n.activeSources[i:])
+	n.activeSources[i] = s
+}
+
+// getFlit returns a recycled Flit or a fresh one.
+func (n *Network) getFlit() *Flit {
+	if k := len(n.flitFree); k > 0 {
+		f := n.flitFree[k-1]
+		n.flitFree = n.flitFree[:k-1]
+		return f
+	}
+	return new(Flit)
+}
+
+// putFlit recycles an ejected flit.
+func (n *Network) putFlit(f *Flit) {
+	f.Packet = nil
+	n.flitFree = append(n.flitFree, f)
+}
+
+// getPacket returns a recycled Packet or a fresh one.
+func (n *Network) getPacket() *Packet {
+	if k := len(n.packetFree); k > 0 {
+		p := n.packetFree[k-1]
+		n.packetFree = n.packetFree[:k-1]
+		return p
+	}
+	return new(Packet)
+}
+
 // NewPacket creates a packet from src to dst stamped with the current
 // cycle and the caller-supplied real time (ns), and appends it to the
 // source queue of src. dimOrder selects XY (0) or YX (1) traversal for
 // O1TURN routing; it is ignored for plain XY/YX.
+//
+// The returned packet is owned by the network and recycled once its tail
+// flit is ejected (after OnArrive returns): callers that keep per-packet
+// data beyond delivery must copy the fields they need.
 func (n *Network) NewPacket(src, dst NodeID, nowNs float64, dimOrder uint8) *Packet {
 	if src == dst {
 		panic("noc: packet to self")
 	}
 	n.nextPacketID++
-	p := &Packet{
+	p := n.getPacket()
+	*p = Packet{
 		ID:          n.nextPacketID,
 		Src:         src,
 		Dst:         dst,
@@ -110,7 +214,11 @@ func (n *Network) NewPacket(src, dst NodeID, nowNs float64, dimOrder uint8) *Pac
 		CreateTime:  nowNs,
 		DimOrder:    dimOrder,
 	}
-	n.sources[src].queue.Push(p)
+	s := n.sources[src]
+	s.queue.Push(p)
+	if !s.active {
+		n.activateSource(s)
+	}
 	n.packetsQueued++
 	return p
 }
@@ -135,10 +243,15 @@ func (n *Network) stageEject(node NodeID, f *Flit, _ int64) {
 }
 
 // Step advances the network by one clock cycle: it delivers flits and
-// credits staged in the previous cycle, runs every router pipeline, and
-// lets every source inject at most one flit.
+// credits staged in the previous cycle, runs every router pipeline with
+// staged work, and lets every source with pending packets inject at most
+// one flit. When the network is quiescent the whole call is the skip-ahead
+// fast path: the clock advances and nothing else runs.
 func (n *Network) Step() {
 	n.cycle++
+	if !n.fullStep && n.Quiescent() {
+		return
+	}
 	cycle := n.cycle
 
 	// Swap staging buffers: everything staged during cycle-1 is delivered
@@ -156,7 +269,9 @@ func (n *Network) Step() {
 			if n.OnArrive != nil {
 				n.OnArrive(p, cycle)
 			}
+			n.packetFree = append(n.packetFree, p)
 		}
+		n.putFlit(ev.flit)
 	}
 	for _, ev := range n.pendingFlits {
 		ev.router.acceptFlit(ev.port, ev.flit, cycle)
@@ -173,24 +288,61 @@ func (n *Network) Step() {
 		up.acceptCredit(ev.port.Opposite(), ev.vc)
 	}
 
-	for _, r := range n.routers {
+	if n.fullStep {
+		for _, r := range n.routers {
+			r.step(cycle)
+		}
+		for _, s := range n.sources {
+			s.step(cycle, &n.cfg)
+		}
+		return
+	}
+
+	// Work-list iteration: step only routers and sources that hold work,
+	// dropping the ones that went idle. Both lists are in node id order,
+	// so the event stream matches the naive loop exactly.
+	liveR := n.activeRouters[:0]
+	for _, r := range n.activeRouters {
 		r.step(cycle)
+		if r.hasWork() {
+			liveR = append(liveR, r)
+		} else {
+			r.active = false
+		}
 	}
-	for _, s := range n.sources {
+	n.activeRouters = liveR
+
+	liveS := n.activeSources[:0]
+	for _, s := range n.activeSources {
 		s.step(cycle, &n.cfg)
+		if s.hasWork() {
+			liveS = append(liveS, s)
+		} else {
+			s.active = false
+		}
 	}
+	n.activeSources = liveS
 }
 
 // InFlight returns the number of flits currently inside the network:
 // buffered in routers or in flight on links (including flits owed by the
 // sources' partially sent packets and queued packets).
 func (n *Network) InFlight() int64 {
-	var total int64
-	for _, r := range n.routers {
+	total := int64(len(n.stagedFlits)) + int64(len(n.stagedEjects))
+	if n.fullStep {
+		// The work lists are stale supersets in naive mode; walk everything.
+		for _, r := range n.routers {
+			total += int64(r.occupancy())
+		}
+		for _, s := range n.sources {
+			total += s.pendingFlits(&n.cfg)
+		}
+		return total
+	}
+	for _, r := range n.activeRouters {
 		total += int64(r.occupancy())
 	}
-	total += int64(len(n.stagedFlits)) + int64(len(n.stagedEjects))
-	for _, s := range n.sources {
+	for _, s := range n.activeSources {
 		total += s.pendingFlits(&n.cfg)
 	}
 	return total
@@ -240,6 +392,16 @@ func (n *Network) RouterActivities() []RouterActivity {
 func (n *Network) CheckInvariants() {
 	for _, r := range n.routers {
 		r.checkInvariants()
+	}
+	for i, r := range n.activeRouters {
+		if i > 0 && n.activeRouters[i-1].id >= r.id {
+			panic("noc: active router list out of order")
+		}
+	}
+	for i, s := range n.activeSources {
+		if i > 0 && n.activeSources[i-1].node >= s.node {
+			panic("noc: active source list out of order")
+		}
 	}
 }
 

@@ -27,7 +27,11 @@ func (r *flitRing) Push(f *Flit) {
 	if r.Full() {
 		panic("noc: VC buffer overflow (flow-control violation)")
 	}
-	r.items[(r.head+r.count)%len(r.items)] = f
+	i := r.head + r.count
+	if i >= len(r.items) {
+		i -= len(r.items)
+	}
+	r.items[i] = f
 	r.count++
 }
 
@@ -46,7 +50,10 @@ func (r *flitRing) Pop() *Flit {
 	}
 	f := r.items[r.head]
 	r.items[r.head] = nil
-	r.head = (r.head + 1) % len(r.items)
+	r.head++
+	if r.head >= len(r.items) {
+		r.head = 0
+	}
 	r.count--
 	return f
 }

@@ -1,5 +1,7 @@
 package noc
 
+import "math/bits"
+
 // vcStage is the pipeline state of an input virtual channel.
 type vcStage uint8
 
@@ -14,40 +16,33 @@ const (
 	vcActive
 )
 
-// inputVC is the per-virtual-channel state of a router input port.
-type inputVC struct {
-	buf   flitRing
-	stage vcStage
-	// outPort is the routed output port (valid from vcWaitVC onwards).
-	outPort Port
-	// outVC is the allocated downstream VC (valid in vcActive).
-	outVC int
-	// readyCycle is the earliest network cycle at which this VC may take
-	// its next pipeline step; it enforces one stage per cycle.
-	readyCycle int64
-}
-
-// outputVC is the per-virtual-channel state of a router output port. It
-// tracks downstream buffer credits and the current owning input VC.
-type outputVC struct {
-	// owner is the flat input VC index (port*VCs+vc) holding this output
-	// VC, or -1 when free.
-	owner int
-	// credits is the number of free slots in the downstream input buffer.
-	// Ejection (local) output VCs are replenished implicitly: the PE
-	// consumes flits at link rate, so credits are pinned at BufDepth.
-	credits int
-}
-
 // Router is one input-queued virtual-channel router of the mesh.
+//
+// The per-VC pipeline state is held in struct-of-arrays form, flattened to
+// flat index port*VCs+vc: the allocators scan the stage bytes of all VCs
+// every active cycle, and keeping them contiguous (40 bytes for the default
+// 5-port, 8-VC router — a single cache line) instead of strided through a
+// per-VC struct is the difference between a scan that lives in L1 and one
+// that misses on every port.
 type Router struct {
 	id   NodeID
 	x, y int
 	net  *Network
+	vcs  int // cached Config.VCs
 
-	// in[port][vc] and out[port][vc] hold the VC state.
-	in  [][]inputVC
-	out [][]outputVC
+	// Input VC state, indexed by flat VC (port*VCs+vc).
+	inStage []vcStage // pipeline stage
+	inReady []int64   // earliest cycle for the next pipeline step
+	inPort  []int32   // routed output port (valid from vcWaitVC onwards)
+	inVC    []int32   // allocated downstream VC (valid in vcActive)
+	inBuf   []flitRing
+
+	// Output VC state, indexed by flat VC (port*VCs+vc).
+	outOwner []int32 // owning flat input VC, -1 when free
+	// outCredits is the number of free slots in the downstream input
+	// buffer. Ejection (local) output VCs are replenished implicitly: the
+	// PE consumes flits at link rate, so credits are pinned at BufDepth.
+	outCredits []int32
 
 	// neighbor[port] is the adjacent router reached through port, or nil
 	// at mesh edges and for PortLocal.
@@ -58,10 +53,16 @@ type Router struct {
 	saInPri  [NumPorts]int // per input port, rotates over its VCs
 	saOutPri [NumPorts]int // per output port, rotates over input ports
 
-	// Scratch space reused every cycle by the allocators.
-	vaReq    [NumPorts][]int // requester flat input VC indices per output port
-	saInWin  [NumPorts]int   // per input port: winning VC of SA input phase, -1 none
-	saOutWin [NumPorts]int   // per output port: winning input port, -1 none
+	// Scratch space reused every cycle by the allocators; all of it is
+	// allocated once in newRouter so the steady-state pipeline never
+	// touches the heap.
+	vaReq   [NumPorts][]int32 // requester flat input VC indices per output port
+	vaFree  []int32           // free output VC list, reused per output port
+	vaIsReq []bool            // per flat input VC: requesting the current port
+	// saInWin[p] is the winning VC of the SA input phase for input port p;
+	// it is only valid for ports present in the current cycle's request
+	// masks, so it needs no per-cycle reset.
+	saInWin [NumPorts]int
 
 	// Stage population counters let step skip empty pipeline stages; they
 	// are pure accounting and carry no semantics beyond "how many input
@@ -69,6 +70,20 @@ type Router struct {
 	nRouting int
 	nWaitVC  int
 	nActive  int
+	// Per-input-port stage occupancy bitmasks (bit v set when VC v of the
+	// port is in that stage), so the stage loops iterate set bits instead
+	// of scanning every VC. Config.Validate caps VCs at 64 to keep these
+	// in a single word.
+	routingMask [NumPorts]uint64
+	waitMask    [NumPorts]uint64
+	activeMask  [NumPorts]uint64
+
+	// buffered is the total number of flits held in input VC buffers;
+	// it makes occupancy O(1) for the quiescence check.
+	buffered int
+
+	// active reports whether the router is on the network's work list.
+	active bool
 
 	// Activity is the per-router event accumulator for power estimation.
 	Activity RouterActivity
@@ -79,59 +94,70 @@ func (r *Router) ID() NodeID { return r.id }
 
 func newRouter(net *Network, id NodeID) *Router {
 	cfg := &net.cfg
-	r := &Router{id: id, net: net}
+	r := &Router{id: id, net: net, vcs: cfg.VCs}
 	r.x, r.y = cfg.Coord(id)
-	r.in = make([][]inputVC, NumPorts)
-	r.out = make([][]outputVC, NumPorts)
-	for p := 0; p < NumPorts; p++ {
-		r.in[p] = make([]inputVC, cfg.VCs)
-		r.out[p] = make([]outputVC, cfg.VCs)
-		for v := 0; v < cfg.VCs; v++ {
-			r.in[p][v] = inputVC{buf: newFlitRing(cfg.BufDepth)}
-			r.out[p][v] = outputVC{owner: -1, credits: cfg.BufDepth}
-		}
-		r.vaReq[p] = make([]int, 0, NumPorts*cfg.VCs)
+	total := NumPorts * cfg.VCs
+	r.inStage = make([]vcStage, total)
+	r.inReady = make([]int64, total)
+	r.inPort = make([]int32, total)
+	r.inVC = make([]int32, total)
+	r.inBuf = make([]flitRing, total)
+	r.outOwner = make([]int32, total)
+	r.outCredits = make([]int32, total)
+	for i := 0; i < total; i++ {
+		r.inBuf[i] = newFlitRing(cfg.BufDepth)
+		r.outOwner[i] = -1
+		r.outCredits[i] = int32(cfg.BufDepth)
 	}
+	for p := 0; p < NumPorts; p++ {
+		r.vaReq[p] = make([]int32, 0, total)
+	}
+	r.vaFree = make([]int32, 0, cfg.VCs)
+	r.vaIsReq = make([]bool, total)
 	return r
 }
 
-// flatVC packs (port, vc) into a single index.
-func (r *Router) flatVC(p Port, vc int) int { return int(p)*r.net.cfg.VCs + vc }
-
-// unflatVC unpacks a flat input VC index.
-func (r *Router) unflatVC(idx int) (Port, int) {
-	return Port(idx / r.net.cfg.VCs), idx % r.net.cfg.VCs
+// hasWork reports whether the router holds any flits or any input VC in a
+// non-idle pipeline stage; an idle router's step is a guaranteed no-op, so
+// the network drops it from the active work list.
+func (r *Router) hasWork() bool {
+	return r.buffered > 0 || r.nRouting+r.nWaitVC+r.nActive > 0
 }
 
 // acceptFlit is called by the network's delivery phase when a flit arrives
 // on an input port (from a neighbouring router's link or from the local
 // injection source).
 func (r *Router) acceptFlit(p Port, f *Flit, cycle int64) {
-	ivc := &r.in[p][f.VC]
-	wasEmpty := ivc.buf.Len() == 0
-	ivc.buf.Push(f)
+	i := int(p)*r.vcs + f.VC
+	wasEmpty := r.inBuf[i].Len() == 0
+	r.inBuf[i].Push(f)
+	r.buffered++
 	r.Activity.BufWrites++
 	if p == PortLocal {
 		r.Activity.InjectFlits++
 	}
 	// A head flit arriving at the front of an idle VC starts the pipeline
 	// on the next cycle.
-	if wasEmpty && ivc.stage == vcIdle {
+	if wasEmpty && r.inStage[i] == vcIdle {
 		if !f.Head {
 			panic("noc: body flit arrived at idle VC without a head")
 		}
-		ivc.stage = vcRouting
-		ivc.readyCycle = cycle + 1
+		r.inStage[i] = vcRouting
+		r.inReady[i] = cycle + 1
 		r.nRouting++
+		r.routingMask[p] |= 1 << uint(f.VC)
+	}
+	if !r.active {
+		r.net.activateRouter(r)
 	}
 }
 
 // acceptCredit is called by the delivery phase when a credit returns for
 // output port p, virtual channel vc.
 func (r *Router) acceptCredit(p Port, vc int) {
-	ovc := &r.out[p][vc]
-	ovc.credits++
-	if ovc.credits > r.net.cfg.BufDepth {
+	i := int(p)*r.vcs + vc
+	r.outCredits[i]++
+	if r.outCredits[i] > int32(r.net.cfg.BufDepth) {
 		panic("noc: credit overflow (more credits than buffer slots)")
 	}
 }
@@ -140,20 +166,24 @@ func (r *Router) acceptCredit(p Port, vc int) {
 func (r *Router) stageRC(cycle int64) {
 	cfg := &r.net.cfg
 	for p := 0; p < NumPorts; p++ {
-		for v := range r.in[p] {
-			ivc := &r.in[p][v]
-			if ivc.stage != vcRouting || ivc.readyCycle > cycle {
+		base := p * r.vcs
+		for m := r.routingMask[p]; m != 0; m &= m - 1 {
+			v := bits.TrailingZeros64(m)
+			i := base + v
+			if r.inReady[i] > cycle {
 				continue
 			}
-			head := ivc.buf.Front()
+			head := r.inBuf[i].Front()
 			if head == nil {
 				continue // head flit not yet buffered
 			}
-			ivc.outPort = RoutePort(cfg, r.id, head.Packet)
-			ivc.stage = vcWaitVC
-			ivc.readyCycle = cycle + 1
+			r.inPort[i] = int32(RoutePort(cfg, r.id, head.Packet))
+			r.inStage[i] = vcWaitVC
+			r.inReady[i] = cycle + 1
 			r.nRouting--
 			r.nWaitVC++
+			r.routingMask[p] &^= 1 << uint(v)
+			r.waitMask[p] |= 1 << uint(v)
 		}
 	}
 }
@@ -162,57 +192,79 @@ func (r *Router) stageRC(cycle int64) {
 // waiting input VC requests its routed output port; each output port grants
 // its free VCs to requesters in round-robin order.
 func (r *Router) stageVA(cycle int64) {
-	cfg := &r.net.cfg
+	vcs := r.vcs
 	for p := range r.vaReq {
 		r.vaReq[p] = r.vaReq[p][:0]
 	}
+	anyReq := false
 	for p := 0; p < NumPorts; p++ {
-		for v := range r.in[p] {
-			ivc := &r.in[p][v]
-			if ivc.stage == vcWaitVC && ivc.readyCycle <= cycle {
-				r.vaReq[ivc.outPort] = append(r.vaReq[ivc.outPort], r.flatVC(Port(p), v))
+		base := p * vcs
+		for m := r.waitMask[p]; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
+			if r.inReady[i] > cycle {
+				continue
 			}
+			r.vaReq[r.inPort[i]] = append(r.vaReq[r.inPort[i]], int32(i))
+			anyReq = true
 		}
 	}
-	total := NumPorts * cfg.VCs
+	if !anyReq {
+		return
+	}
+	total := NumPorts * vcs
 	for op := 0; op < NumPorts; op++ {
 		reqs := r.vaReq[op]
 		if len(reqs) == 0 {
 			continue
 		}
 		// Free output VCs in index order.
-		free := make([]int, 0, cfg.VCs)
-		for ov := range r.out[op] {
-			if r.out[op][ov].owner < 0 {
-				free = append(free, ov)
+		free := r.vaFree[:0]
+		obase := op * vcs
+		for ov := 0; ov < vcs; ov++ {
+			if r.outOwner[obase+ov] < 0 {
+				free = append(free, int32(ov))
 			}
 		}
 		if len(free) == 0 {
 			continue
 		}
 		// Requesters in round-robin order starting at the priority pointer.
+		// vaIsReq turns the inner requester match into an O(1) lookup while
+		// preserving the exact grant order of a linear scan.
+		for _, req := range reqs {
+			r.vaIsReq[req] = true
+		}
 		granted := 0
 		pri := r.vaPri[op]
 		for off := 0; off < total && granted < len(free); off++ {
-			want := (pri + off) % total
-			for _, req := range reqs {
-				if req != want {
-					continue
-				}
-				ip, iv := r.unflatVC(req)
-				ivc := &r.in[ip][iv]
-				ov := free[granted]
-				granted++
-				r.out[op][ov].owner = req
-				ivc.outVC = ov
-				ivc.stage = vcActive
-				ivc.readyCycle = cycle + 1
-				r.nWaitVC--
-				r.nActive++
-				r.Activity.VCAllocs++
-				r.vaPri[op] = (req + 1) % total
-				break
+			want := pri + off
+			if want >= total {
+				want -= total
 			}
+			if !r.vaIsReq[want] {
+				continue
+			}
+			r.vaIsReq[want] = false
+			ip := want / vcs
+			iv := want - ip*vcs
+			ov := free[granted]
+			granted++
+			r.outOwner[obase+int(ov)] = int32(want)
+			r.inVC[want] = ov
+			r.inStage[want] = vcActive
+			r.inReady[want] = cycle + 1
+			r.nWaitVC--
+			r.nActive++
+			r.waitMask[ip] &^= 1 << uint(iv)
+			r.activeMask[ip] |= 1 << uint(iv)
+			r.Activity.VCAllocs++
+			r.vaPri[op] = want + 1
+			if r.vaPri[op] >= total {
+				r.vaPri[op] = 0
+			}
+		}
+		for _, req := range reqs {
+			r.vaIsReq[req] = false
 		}
 	}
 }
@@ -221,55 +273,74 @@ func (r *Router) stageVA(cycle int64) {
 // winners, switch traversal: the flit is dequeued, sent on the output link
 // (arriving downstream next cycle) and a credit is scheduled upstream.
 func (r *Router) stageSA(cycle int64) {
-	cfg := &r.net.cfg
-	// Input phase: each input port nominates one eligible VC.
+	vcs := r.vcs
+	// Input phase: each input port nominates one eligible VC and requests
+	// its output port. Requests are collected as bitmasks (NumPorts ≤ 5
+	// bits) so the output phase can resolve each grant with bit tricks
+	// instead of a NumPorts×NumPorts scan.
+	var reqOps uint32          // output ports with at least one requester
+	var reqIn [NumPorts]uint32 // per output port: requesting input ports
 	for p := 0; p < NumPorts; p++ {
-		r.saInWin[p] = -1
+		am := r.activeMask[p]
+		if am == 0 {
+			continue
+		}
+		// Rotate the active mask right by the round-robin pointer so that
+		// trailing-zeros iteration visits VCs in priority order.
 		pri := r.saInPri[p]
-		for off := 0; off < cfg.VCs; off++ {
-			v := (pri + off) % cfg.VCs
-			ivc := &r.in[p][v]
-			if ivc.stage != vcActive || ivc.readyCycle > cycle || ivc.buf.Len() == 0 {
+		rot := (am>>uint(pri) | am<<uint(vcs-pri)) & (uint64(1)<<uint(vcs) - 1)
+		base := p * vcs
+		for ; rot != 0; rot &= rot - 1 {
+			v := pri + bits.TrailingZeros64(rot)
+			if v >= vcs {
+				v -= vcs
+			}
+			i := base + v
+			if r.inReady[i] > cycle || r.inBuf[i].Len() == 0 {
 				continue
 			}
-			if r.out[ivc.outPort][ivc.outVC].credits <= 0 {
+			out := int(r.inPort[i])
+			if r.outCredits[out*vcs+int(r.inVC[i])] <= 0 {
 				continue
 			}
 			r.saInWin[p] = v
+			reqOps |= 1 << out
+			reqIn[out] |= 1 << p
 			break
 		}
 	}
-	// Output phase: each output port grants one input port.
-	for op := 0; op < NumPorts; op++ {
-		r.saOutWin[op] = -1
+	// Output phase + traversal, in ascending output-port order. Each
+	// requested port grants the first requesting input port at or after
+	// its round-robin pointer: rotating the request mask right by the
+	// pointer makes that a single trailing-zeros count.
+	for ; reqOps != 0; reqOps &= reqOps - 1 {
+		op := bits.TrailingZeros32(reqOps)
 		pri := r.saOutPri[op]
-		for off := 0; off < NumPorts; off++ {
-			ip := (pri + off) % NumPorts
-			v := r.saInWin[ip]
-			if v < 0 || r.in[ip][v].outPort != Port(op) {
-				continue
-			}
-			r.saOutWin[op] = ip
-			break
-		}
-	}
-	// Traversal for the winners.
-	for op := 0; op < NumPorts; op++ {
-		ip := r.saOutWin[op]
-		if ip < 0 {
-			continue
+		m := reqIn[op]
+		rot := (m>>pri | m<<(NumPorts-pri)) & (1<<NumPorts - 1)
+		ip := pri + bits.TrailingZeros32(rot)
+		if ip >= NumPorts {
+			ip -= NumPorts
 		}
 		v := r.saInWin[ip]
-		ivc := &r.in[ip][v]
-		flit := ivc.buf.Pop()
+		i := ip*vcs + v
+		flit := r.inBuf[i].Pop()
+		r.buffered--
 		r.Activity.BufReads++
 		r.Activity.XbarTraversals++
 		r.Activity.SAAllocs++
-		r.saInPri[ip] = (v + 1) % cfg.VCs
-		r.saOutPri[op] = (ip + 1) % NumPorts
+		r.saInPri[ip] = v + 1
+		if r.saInPri[ip] >= vcs {
+			r.saInPri[ip] = 0
+		}
+		r.saOutPri[op] = ip + 1
+		if r.saOutPri[op] >= NumPorts {
+			r.saOutPri[op] = 0
+		}
 
-		ovc := &r.out[op][ivc.outVC]
-		flit.VC = ivc.outVC
+		outVC := int(r.inVC[i])
+		o := op*vcs + outVC
+		flit.VC = outVC
 
 		// Send the flit: ejection to the local PE, otherwise on the link.
 		if Port(op) == PortLocal {
@@ -279,7 +350,7 @@ func (r *Router) stageSA(cycle int64) {
 			// immediately so local output VCs never block on credits.
 		} else {
 			r.Activity.LinkFlits++
-			ovc.credits--
+			r.outCredits[o]--
 			r.net.stageFlit(r.neighbor[op], Port(op).Opposite(), flit, cycle+1)
 			if flit.Head {
 				flit.Packet.Hops++
@@ -291,19 +362,21 @@ func (r *Router) stageSA(cycle int64) {
 
 		// Tail departure releases the input VC and the output VC.
 		if flit.Tail {
-			ovc.owner = -1
-			ivc.stage = vcIdle
-			ivc.outVC = -1
+			r.outOwner[o] = -1
+			r.inStage[i] = vcIdle
+			r.inVC[i] = -1
 			r.nActive--
+			r.activeMask[ip] &^= 1 << uint(v)
 			// If the next packet's head is already buffered behind the
 			// tail, restart the pipeline for it.
-			if next := ivc.buf.Front(); next != nil {
+			if next := r.inBuf[i].Front(); next != nil {
 				if !next.Head {
 					panic("noc: flit following a tail is not a head")
 				}
-				ivc.stage = vcRouting
-				ivc.readyCycle = cycle + 1
+				r.inStage[i] = vcRouting
+				r.inReady[i] = cycle + 1
 				r.nRouting++
+				r.routingMask[ip] |= 1 << uint(v)
 			}
 		}
 	}
@@ -325,46 +398,51 @@ func (r *Router) step(cycle int64) {
 }
 
 // occupancy returns the total number of flits buffered in the router.
-func (r *Router) occupancy() int {
-	n := 0
-	for p := 0; p < NumPorts; p++ {
-		for v := range r.in[p] {
-			n += r.in[p][v].buf.Len()
-		}
-	}
-	return n
-}
+func (r *Router) occupancy() int { return r.buffered }
 
 // checkInvariants panics if credit accounting is inconsistent; used by
 // tests via Network.CheckInvariants.
 func (r *Router) checkInvariants() {
 	cfg := &r.net.cfg
 	var nR, nW, nA int
+	var mR, mW, mA [NumPorts]uint64
+	buffered := 0
 	for p := 0; p < NumPorts; p++ {
-		for v := range r.in[p] {
-			switch r.in[p][v].stage {
+		for v := 0; v < r.vcs; v++ {
+			i := p*r.vcs + v
+			buffered += r.inBuf[i].Len()
+			switch r.inStage[i] {
 			case vcRouting:
 				nR++
+				mR[p] |= 1 << uint(v)
 			case vcWaitVC:
 				nW++
+				mW[p] |= 1 << uint(v)
 			case vcActive:
 				nA++
+				mA[p] |= 1 << uint(v)
 			}
 		}
 	}
 	if nR != r.nRouting || nW != r.nWaitVC || nA != r.nActive {
 		panic("noc: stage population counters out of sync")
 	}
+	if mR != r.routingMask || mW != r.waitMask || mA != r.activeMask {
+		panic("noc: per-port stage occupancy masks out of sync")
+	}
+	if buffered != r.buffered {
+		panic("noc: buffered flit counter out of sync")
+	}
+	if r.hasWork() && !r.active {
+		panic("noc: router with work is not on the active list")
+	}
 	for p := 0; p < NumPorts; p++ {
-		for v := range r.out[p] {
-			ovc := &r.out[p][v]
-			if ovc.credits < 0 || ovc.credits > cfg.BufDepth {
+		for v := 0; v < r.vcs; v++ {
+			i := p*r.vcs + v
+			if r.outCredits[i] < 0 || r.outCredits[i] > int32(cfg.BufDepth) {
 				panic("noc: output VC credits out of range")
 			}
-		}
-		for v := range r.in[p] {
-			ivc := &r.in[p][v]
-			if ivc.stage == vcIdle && ivc.buf.Len() != 0 {
+			if r.inStage[i] == vcIdle && r.inBuf[i].Len() != 0 {
 				panic("noc: idle input VC holds flits")
 			}
 		}

@@ -197,12 +197,12 @@ func TestVCAllocationReleasedOnTail(t *testing.T) {
 		r := net.Router(NodeID(id))
 		for p := 0; p < NumPorts; p++ {
 			for v := 0; v < cfg.VCs; v++ {
-				if r.out[p][v].owner != -1 {
+				if r.outOwner[p*cfg.VCs+v] != -1 {
 					t.Fatalf("router %d out[%d][%d] still owned after drain", id, p, v)
 				}
-				if r.out[p][v].credits != cfg.BufDepth {
+				if r.outCredits[p*cfg.VCs+v] != int32(cfg.BufDepth) {
 					t.Fatalf("router %d out[%d][%d] credits %d != %d after drain",
-						id, p, v, r.out[p][v].credits, cfg.BufDepth)
+						id, p, v, r.outCredits[p*cfg.VCs+v], cfg.BufDepth)
 				}
 			}
 		}

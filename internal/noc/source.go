@@ -30,7 +30,16 @@ type source struct {
 	curSeq int
 
 	rrVC int // round-robin pointer for VC selection
+
+	// active reports whether the source is on the network's work list.
+	active bool
 }
+
+// hasWork reports whether the source still owes the network flits: a
+// packet mid-serialization or queued packets. A source without work is a
+// guaranteed no-op in step, so the network drops it from the active list
+// (credit returns are delivered independently of step).
+func (s *source) hasWork() bool { return s.cur != nil || s.queue.Len() > 0 }
 
 func newSource(node NodeID, r *Router, cfg *Config) *source {
 	s := &source{
@@ -72,7 +81,8 @@ func (s *source) step(cycle int64, cfg *Config) {
 		return
 	}
 	p := s.cur
-	f := &Flit{
+	f := s.router.net.getFlit()
+	*f = Flit{
 		Packet: p,
 		Seq:    s.curSeq,
 		Head:   s.curSeq == 0,

@@ -1,0 +1,111 @@
+package noc
+
+import (
+	"testing"
+)
+
+// stepTraffic drives a deterministic packet mix through the network: one
+// packet every injectEvery cycles, cycling over a fixed set of flows.
+func stepTraffic(net *Network, cycles int, injectEvery int) {
+	flows := [][2]NodeID{{0, 24}, {24, 0}, {4, 20}, {12, 7}, {3, 18}}
+	fi := 0
+	for c := 0; c < cycles; c++ {
+		if injectEvery > 0 && c%injectEvery == 0 {
+			f := flows[fi%len(flows)]
+			fi++
+			net.NewPacket(f[0], f[1], float64(net.Cycle()), 0)
+		}
+		net.Step()
+	}
+}
+
+// TestStepZeroAllocsSteadyState asserts the tentpole's zero-alloc claim:
+// once the free lists, staging buffers and work lists are warm, a steady
+// state of injection + stepping never touches the heap.
+func TestStepZeroAllocsSteadyState(t *testing.T) {
+	net, err := NewNetwork(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: grow every pool, queue and staging buffer to steady-state
+	// capacity, then drain so the free lists are fully stocked.
+	stepTraffic(net, 4000, 8)
+	if !net.Drain(10_000) {
+		t.Fatal("warm-up traffic did not drain")
+	}
+
+	c := 0
+	flows := [][2]NodeID{{0, 24}, {24, 0}, {4, 20}, {12, 7}}
+	allocs := testing.AllocsPerRun(4000, func() {
+		if c%8 == 0 {
+			f := flows[(c/8)%len(flows)]
+			net.NewPacket(f[0], f[1], float64(net.Cycle()), 0)
+		}
+		net.Step()
+		c++
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Step allocates %.2f objects/cycle, want 0", allocs)
+	}
+}
+
+// TestQuiescentStepZeroAllocs covers the skip-ahead fast path: stepping an
+// idle network is allocation-free from the first call.
+func TestQuiescentStepZeroAllocs(t *testing.T) {
+	net, err := NewNetwork(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1000, net.Step); allocs != 0 {
+		t.Errorf("quiescent Step allocates %.2f objects/cycle, want 0", allocs)
+	}
+}
+
+// TestSkipAheadMatchesNaiveLoop runs the identical traffic script with the
+// fast paths on and off and requires identical cycle-by-cycle observable
+// state: packet/flit counters, per-router activity, and arrival order.
+func TestSkipAheadMatchesNaiveLoop(t *testing.T) {
+	type arrival struct {
+		id    int64
+		cycle int64
+	}
+	run := func(skip bool) ([]arrival, [4]int64, []RouterActivity) {
+		net, err := NewNetwork(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetSkipAhead(skip)
+		var arrivals []arrival
+		net.OnArrive = func(p *Packet, cycle int64) {
+			arrivals = append(arrivals, arrival{id: p.ID, cycle: cycle})
+		}
+		// Bursts separated by long idle gaps, so skip-ahead actually skips.
+		stepTraffic(net, 300, 3)
+		stepTraffic(net, 500, 0) // idle: quiescent fast path
+		stepTraffic(net, 300, 5)
+		if !net.Drain(10_000) {
+			t.Fatal("traffic did not drain")
+		}
+		net.CheckInvariants()
+		q, a, i, e := net.Stats()
+		return arrivals, [4]int64{q, a, i, e}, net.RouterActivities()
+	}
+	fastArr, fastStats, fastAct := run(true)
+	naiveArr, naiveStats, naiveAct := run(false)
+	if fastStats != naiveStats {
+		t.Errorf("counters diverge: fast %v naive %v", fastStats, naiveStats)
+	}
+	if len(fastArr) != len(naiveArr) {
+		t.Fatalf("arrival counts diverge: %d vs %d", len(fastArr), len(naiveArr))
+	}
+	for i := range fastArr {
+		if fastArr[i] != naiveArr[i] {
+			t.Fatalf("arrival %d diverges: fast %+v naive %+v", i, fastArr[i], naiveArr[i])
+		}
+	}
+	for id := range fastAct {
+		if fastAct[id] != naiveAct[id] {
+			t.Errorf("router %d activity diverges:\nfast:  %+v\nnaive: %+v", id, fastAct[id], naiveAct[id])
+		}
+	}
+}

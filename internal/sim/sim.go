@@ -58,10 +58,10 @@ type Params struct {
 	// 60 000).
 	Measure int64
 	// AdaptiveWarmup delays measurement until the commanded frequency has
-	// been stable (relative change below 1%) for SettlePeriods consecutive
-	// control periods, capped at MaxWarmup node cycles. Closed-loop
-	// policies (DMSD) need it; open-loop policies settle within a period
-	// or two anyway.
+	// been stable (relative change below 0.3%, stabilityRelTol) for
+	// SettlePeriods consecutive control periods, capped at MaxWarmup node
+	// cycles. Closed-loop policies (DMSD) need it; open-loop policies
+	// settle within a period or two anyway.
 	AdaptiveWarmup bool
 	// SettlePeriods is the stability run length required by
 	// AdaptiveWarmup (default 5).
@@ -82,6 +82,11 @@ type Params struct {
 	// PacketLog, when non-nil, records the lifecycle of every packet
 	// delivered during the measurement window.
 	PacketLog *trace.Log
+
+	// disableSkipAhead forces the network to tick every quiescent cycle
+	// through the full step path. Only tests set it, to prove the
+	// skip-ahead and active-list fast paths are exact.
+	disableSkipAhead bool
 }
 
 // Sample is one point of the frequency/voltage trace.
@@ -118,6 +123,9 @@ type Result struct {
 	AvgPowerMW float64
 	// SwitchingMW, ClockMW and LeakageMW decompose AvgPowerMW.
 	SwitchingMW, ClockMW, LeakageMW float64
+	// MeasuredNodeCycles is the actual length of the measurement window in
+	// node cycles; it equals Params.Measure unless the run aborted early.
+	MeasuredNodeCycles int64
 	// Saturated reports whether the run hit a saturation guard.
 	Saturated bool
 	// ElapsedNs is the simulated real time of the measurement window.
@@ -151,7 +159,7 @@ func (p *Params) setDefaults() {
 		p.SettlePeriods = 5
 	}
 	if p.MaxWarmup == 0 {
-		p.MaxWarmup = 500_000
+		p.MaxWarmup = 1_000_000
 	}
 }
 
@@ -207,6 +215,9 @@ func RunContext(ctx context.Context, p Params) (Result, error) {
 	net, err := noc.NewNetwork(p.Noc)
 	if err != nil {
 		return Result{}, err
+	}
+	if p.disableSkipAhead {
+		net.SetSkipAhead(false)
 	}
 	p.Policy.Reset()
 
@@ -275,9 +286,17 @@ type engine struct {
 	trace []Sample
 }
 
+// p99HistMaxNs caps the auto-extension of the delay histogram. Doubling
+// from the initial 5 µs range reaches it in ten steps, at which point one
+// bin spans 5.12 µs — coarse, but saturated runs report delays of that
+// magnitude, not sub-microsecond ones.
+const p99HistMaxNs = 5_120_000
+
 func (e *engine) run(ctx context.Context) error {
 	p := &e.p
-	e.delayH, _ = stats.NewHistogram(0, 5000, 1000) // ns bins for P99
+	// The range extends on demand so P99 is never clamped at the initial
+	// upper bound when the network saturates.
+	e.delayH, _ = stats.NewExtendingHistogram(0, 5000, 1000, p99HistMaxNs)
 	e.net.OnArrive = func(pk *noc.Packet, cycle int64) {
 		d := e.nowNs - pk.CreateTime
 		e.ctrlDelay.Add(d)
@@ -323,6 +342,13 @@ func (e *engine) run(ctx context.Context) error {
 			if e.nodeCycles == nextCtrl {
 				nextCtrl += p.ControlPeriod
 				e.controlUpdate()
+			}
+			// End the measurement window at the exact node cycle. When
+			// the network clock is slower than the node clock, a network
+			// cycle spans several node cycles; without this check the
+			// window would overshoot by up to FNode/Fnoc−1 node cycles.
+			if e.measuring && e.nodeCycles >= e.measStartNode+p.Measure {
+				break
 			}
 		}
 
@@ -421,9 +447,14 @@ type delayTargeter interface{ TargetNs() float64 }
 // limit) or, for delay-targeting policies, when the measured delay sits
 // near the setpoint (covers limit-cycling around a steep plant, where the
 // frequency keeps dithering but the loop has converged).
+// stabilityRelTol is the relative frequency change below which one control
+// period counts as stable for AdaptiveWarmup, as documented on
+// Params.AdaptiveWarmup.
+const stabilityRelTol = 0.003
+
 func (e *engine) updateStability(m dvfs.Measurement, newF float64) {
 	stable := false
-	if rel := (newF - e.f) / e.f; rel < 0.003 && rel > -0.003 {
+	if rel := (newF - e.f) / e.f; rel < stabilityRelTol && rel > -stabilityRelTol {
 		stable = true
 	}
 	if dt, ok := e.p.Policy.(delayTargeter); ok && m.DelaySamples > 0 {
@@ -458,25 +489,29 @@ func (e *engine) result() Result {
 	p := &e.p
 	_, _, _, ejected := e.net.Stats()
 	measured := ejected + e.measFlits
-	measNode := float64(p.Measure)
-	if e.aborted {
-		// Aborted runs measured fewer node cycles.
-		measNode = float64(e.nodeCycles - e.measStartNode)
-		if !e.measuring || measNode <= 0 {
-			measNode = 1
-		}
+	// The exact window end in run() makes this p.Measure for completed
+	// runs; aborted runs measured fewer node cycles, and the throughput
+	// denominator must match what was actually measured.
+	measCycles := int64(0)
+	if e.measuring {
+		measCycles = e.nodeCycles - e.measStartNode
+	}
+	measNode := float64(measCycles)
+	if measNode <= 0 {
+		measNode = 1
 	}
 	res := Result{
-		AvgLatencyCycles: e.latency.Mean(),
-		AvgDelayNs:       e.delay.Mean(),
-		P99DelayNs:       e.delayH.Quantile(0.99),
-		Packets:          e.latency.N(),
-		Throughput:       float64(measured) / measNode / float64(p.Noc.Nodes()),
-		OfferedRate:      p.Injector.MeanRate(),
-		Saturated:        e.saturated,
-		ElapsedNs:        e.nowNs - e.measStartNs,
-		NetCycles:        e.net.Cycle(),
-		Trace:            e.trace,
+		AvgLatencyCycles:   e.latency.Mean(),
+		AvgDelayNs:         e.delay.Mean(),
+		P99DelayNs:         e.delayH.Quantile(0.99),
+		Packets:            e.latency.N(),
+		Throughput:         float64(measured) / measNode / float64(p.Noc.Nodes()),
+		OfferedRate:        p.Injector.MeanRate(),
+		MeasuredNodeCycles: measCycles,
+		Saturated:          e.saturated,
+		ElapsedNs:          e.nowNs - e.measStartNs,
+		NetCycles:          e.net.Cycle(),
+		Trace:              e.trace,
 	}
 	if e.measTime > 0 {
 		res.AvgFreqHz = e.fTimeSum / e.measTime

@@ -92,17 +92,25 @@ func (s *Stream) String() string {
 }
 
 // Histogram is a fixed-width-bin histogram over [lo, hi) with overflow and
-// underflow bins, supporting approximate quantiles.
+// underflow bins, supporting approximate quantiles. A histogram built with
+// NewExtendingHistogram additionally widens its range on demand (trading
+// resolution for coverage) so quantiles are never silently clamped at hi.
 type Histogram struct {
 	lo, hi float64
-	bins   []int64
-	under  int64
-	over   int64
-	n      int64
-	sum    float64
+	// maxHi > hi enables range extension: when a sample lands at or above
+	// hi, the range doubles in place (adjacent bin pairs merge) until the
+	// sample fits or maxHi is reached. 0 disables extension.
+	maxHi float64
+	bins  []int64
+	under int64
+	over  int64
+	n     int64
+	sum   float64
 }
 
 // NewHistogram creates a histogram with nbins bins spanning [lo, hi).
+// Samples at or above hi land in an overflow bin and clamp Quantile at hi;
+// use NewExtendingHistogram when the upper range is not known in advance.
 func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
 	if !(lo < hi) || nbins < 1 {
 		return nil, fmt.Errorf("stats: bad histogram spec [%g,%g)/%d", lo, hi, nbins)
@@ -110,23 +118,63 @@ func NewHistogram(lo, hi float64, nbins int) (*Histogram, error) {
 	return &Histogram{lo: lo, hi: hi, bins: make([]int64, nbins)}, nil
 }
 
+// NewExtendingHistogram creates a histogram spanning [lo, hi) that doubles
+// its range in place — merging adjacent bin pairs, so no allocation — each
+// time a sample lands at or above the current hi, up to maxHi. nbins must
+// be even so pairs merge cleanly.
+func NewExtendingHistogram(lo, hi float64, nbins int, maxHi float64) (*Histogram, error) {
+	if nbins%2 != 0 {
+		return nil, fmt.Errorf("stats: extending histogram needs an even bin count, got %d", nbins)
+	}
+	if !(maxHi > hi) {
+		return nil, fmt.Errorf("stats: extension limit %g must exceed hi %g", maxHi, hi)
+	}
+	h, err := NewHistogram(lo, hi, nbins)
+	if err != nil {
+		return nil, err
+	}
+	h.maxHi = maxHi
+	return h, nil
+}
+
 // Add records one observation.
 func (h *Histogram) Add(x float64) {
 	h.n++
 	h.sum += x
-	switch {
-	case x < h.lo:
+	if x < h.lo {
 		h.under++
-	case x >= h.hi:
-		h.over++
-	default:
-		i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
-		if i == len(h.bins) { // guard rounding at the top edge
-			i--
-		}
-		h.bins[i]++
+		return
 	}
+	for x >= h.hi && h.hi < h.maxHi {
+		h.extend()
+	}
+	if x >= h.hi {
+		h.over++
+		return
+	}
+	i := int((x - h.lo) / (h.hi - h.lo) * float64(len(h.bins)))
+	if i == len(h.bins) { // guard rounding at the top edge
+		i--
+	}
+	h.bins[i]++
 }
+
+// extend doubles the histogram range in place: adjacent bin pairs merge
+// into the lower half and the upper half opens up at twice the bin width.
+func (h *Histogram) extend() {
+	half := len(h.bins) / 2
+	for i := 0; i < half; i++ {
+		h.bins[i] = h.bins[2*i] + h.bins[2*i+1]
+	}
+	for i := half; i < len(h.bins); i++ {
+		h.bins[i] = 0
+	}
+	h.hi = h.lo + 2*(h.hi-h.lo)
+}
+
+// Bounds returns the current [lo, hi) range; hi grows when an extending
+// histogram widens.
+func (h *Histogram) Bounds() (lo, hi float64) { return h.lo, h.hi }
 
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.n }

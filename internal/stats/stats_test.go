@@ -277,3 +277,103 @@ func TestPercentileInterpolates(t *testing.T) {
 		t.Errorf("interpolated median = %g, want 5", got)
 	}
 }
+
+func TestExtendingHistogramValidation(t *testing.T) {
+	if _, err := NewExtendingHistogram(0, 10, 5, 100); err == nil {
+		t.Error("accepted odd bin count")
+	}
+	if _, err := NewExtendingHistogram(0, 10, 4, 10); err == nil {
+		t.Error("accepted maxHi == hi")
+	}
+	if _, err := NewExtendingHistogram(0, 10, 4, 5); err == nil {
+		t.Error("accepted maxHi < hi")
+	}
+	if _, err := NewExtendingHistogram(10, 10, 4, 100); err == nil {
+		t.Error("accepted lo == hi")
+	}
+}
+
+func TestExtendingHistogramGrowsRange(t *testing.T) {
+	h, err := NewExtendingHistogram(0, 10, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i)) // one per bin
+	}
+	// A sample at 35 forces two doublings: 10 -> 20 -> 40.
+	h.Add(35)
+	if _, hi := h.Bounds(); hi != 40 {
+		t.Fatalf("hi = %g after extension, want 40", hi)
+	}
+	bins, under, over := h.Counts()
+	if under != 0 || over != 0 {
+		t.Errorf("under=%d over=%d, want 0/0 after extension", under, over)
+	}
+	// Original ten samples merged into the bottom fourth (bin width 4).
+	var lowCount int64
+	for _, c := range bins[:3] {
+		lowCount += c
+	}
+	if lowCount != 10 {
+		t.Errorf("low bins hold %d samples, want all 10 originals", lowCount)
+	}
+	if bins[8] != 1 { // 35 lands in [32,36)
+		t.Errorf("bins = %v, want the extension sample in bin 8", bins)
+	}
+	if h.N() != 11 {
+		t.Errorf("N = %d, want 11", h.N())
+	}
+	wantMean := (0 + 1 + 2 + 3 + 4 + 5 + 6 + 7 + 8 + 9 + 35) / 11.0
+	if !almostEqual(h.Mean(), wantMean, 1e-12) {
+		t.Errorf("mean = %g, want %g (must stay exact through extension)", h.Mean(), wantMean)
+	}
+}
+
+func TestExtendingHistogramQuantileNotClamped(t *testing.T) {
+	h, err := NewExtendingHistogram(0, 10, 10, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i * 50)) // 0..4950, far past the initial hi
+	}
+	if _, hi := h.Bounds(); hi < 4950 {
+		t.Fatalf("hi = %g, did not extend to cover samples", hi)
+	}
+	q := h.Quantile(0.99)
+	if q <= 10 {
+		t.Fatalf("p99 = %g, clamped at the initial range", q)
+	}
+	if math.Abs(q-4900) > 700 { // one doubled-bin width of slack
+		t.Errorf("p99 = %g, want ~4900", q)
+	}
+}
+
+func TestExtendingHistogramRespectsMax(t *testing.T) {
+	h, err := NewExtendingHistogram(0, 10, 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(1e9)
+	if _, hi := h.Bounds(); hi != 40 {
+		t.Errorf("hi = %g, want extension capped at 40", hi)
+	}
+	if _, _, over := h.Counts(); over != 1 {
+		t.Errorf("overflow = %d, want 1 once the cap is hit", over)
+	}
+}
+
+func TestFixedHistogramNeverExtends(t *testing.T) {
+	h, err := NewHistogram(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Add(1e9)
+	if _, hi := h.Bounds(); hi != 10 {
+		t.Errorf("fixed histogram extended to hi=%g", hi)
+	}
+	if _, _, over := h.Counts(); over != 1 {
+		t.Errorf("overflow = %d, want 1", over)
+	}
+}
