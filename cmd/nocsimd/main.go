@@ -45,6 +45,7 @@ import (
 	"repro/internal/queue"
 	"repro/internal/sweep"
 	"repro/nocsim/manifest"
+	"repro/nocsim/results"
 )
 
 func main() {
@@ -59,6 +60,7 @@ func main() {
 		points    = flag.Int("points", 0, "serve: samples per curve (0 = default)")
 		seed      = flag.Int64("seed", 1, "serve: random seed")
 		dir       = flag.String("manifest", "", "serve: journal manifests and posted points under this directory (enables crash resume)")
+		resultsDB = flag.String("results", "", "serve: also mirror every plan and accepted point into this results-store file (what cmd/resultsd serves)")
 		resume    = flag.Bool("resume", false, "serve: with -manifest, reuse stored manifests and journaled points")
 		leaseTTL  = flag.Duration("lease-ttl", 60*time.Second, "serve: fallback lease time before an unanswered point is re-issued (adapts to observed point latencies once warmed up)")
 		maxLeases = flag.Int("max-leases", 1024, "serve: cap on outstanding leases across all manifests")
@@ -94,7 +96,7 @@ func main() {
 		return
 	}
 	if err := serve(ctx, serveConfig{
-		addr: *addr, figs: *figs, dir: *dir, resume: *resume,
+		addr: *addr, figs: *figs, dir: *dir, results: *resultsDB, resume: *resume,
 		leaseTTL: *leaseTTL, maxLeases: *maxLeases, exitDone: *exitDone,
 		authToken: token,
 		opts:      sweep.Options{Quick: *quick, Points: *points, Seed: *seed, Workers: *workers},
@@ -122,6 +124,7 @@ type serveConfig struct {
 	addr      string
 	figs      string
 	dir       string
+	results   string
 	resume    bool
 	leaseTTL  time.Duration
 	maxLeases int
@@ -159,10 +162,17 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	} else if cfg.resume {
 		return fmt.Errorf("-resume needs -manifest")
 	}
+	var resultsStore *results.Store
+	if cfg.results != "" {
+		if resultsStore, err = results.Open(cfg.results); err != nil {
+			return err
+		}
+		defer resultsStore.Close()
+	}
 
 	coord := queue.New(queue.Config{
 		LeaseTTL: cfg.leaseTTL, MaxLeases: cfg.maxLeases,
-		AuthToken: cfg.authToken, Store: store,
+		AuthToken: cfg.authToken, Store: store, Results: resultsStore,
 	})
 	defer coord.Close()
 
@@ -173,6 +183,27 @@ func serve(ctx context.Context, cfg serveConfig) error {
 		return err
 	}
 	server := &http.Server{Handler: coord.Handler()}
+
+	// shutdown is the graceful exit: stop granting leases, drain the
+	// HTTP server's in-flight requests (late posts still land), then
+	// flush and fsync the journals and the results store so nothing a
+	// worker paid for is lost to the exit.
+	shutdown := func() error {
+		coord.Quiesce()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		err := server.Shutdown(shutdownCtx)
+		if cerr := coord.Close(); err == nil {
+			err = cerr
+		}
+		if resultsStore != nil {
+			if cerr := resultsStore.Close(); err == nil {
+				err = cerr
+			}
+		}
+		log.Print("journals flushed and synced; exiting")
+		return err
+	}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.Serve(ln) }()
 	if cfg.authToken != "" {
@@ -205,17 +236,14 @@ func serve(ctx context.Context, cfg serveConfig) error {
 	for {
 		select {
 		case <-ctx.Done():
-			shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			return server.Shutdown(shutdownCtx)
+			log.Print("signal received; draining leases and flushing journals")
+			return shutdown()
 		case err := <-serveErr:
 			return err
 		case <-ticker.C:
 			if cfg.exitDone && coord.Complete() {
 				log.Print("all manifests complete; exiting")
-				shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-				defer cancel()
-				return server.Shutdown(shutdownCtx)
+				return shutdown()
 			}
 		}
 	}

@@ -34,6 +34,7 @@
 //	internal/core     experiments: calibration, saturation search, sweeps
 //	internal/sweep    figure/table planners and renderers for the evaluation
 //	internal/queue    HTTP work-queue: lease coordinator, client, worker loop
+//	internal/resultsrv  results-service HTTP API: queries, cached renders, dashboard
 //
 // Every experiment grid — policy comparisons, saturation searches, figure
 // panels, ablations — is fanned out across GOMAXPROCS workers by
@@ -94,11 +95,30 @@
 // mid-run and an unauthenticated worker rejected. See README.md for the
 // quickstart.
 //
+// # Results service
+//
+// Beyond per-run journals, package nocsim/results is a persistent
+// single-file results store built on the same crash-safe journal codec:
+// one writing process (the coordinator with -results, or a resultsd
+// -import backfill) appends plans and points durably, any number of
+// read-only followers replay the file incrementally. cmd/resultsd
+// (internal/resultsrv) serves it over HTTP: stored plans, point queries
+// filtered by figure/policy/pattern/mesh/load, table rendering through
+// the same internal/sweep renderer cmd/figures uses (byte-identical
+// output), and a live dashboard proxying the coordinator's /metrics.
+// Renders are memoized keyed by the manifest plan fingerprint
+// (manifest.Sum) — identical plans share one render, any changed
+// planning knob misses — and -export writes a plan's journal lines back
+// out byte-identically. The daemons shut down gracefully on
+// SIGINT/SIGTERM: quiesce leases, drain in-flight posts, flush and
+// fsync journals and store.
+//
 // Entry points: cmd/nocsim (single run or JSON scenario), cmd/figures
 // (regenerate the evaluation), cmd/capacity (saturation analysis),
 // cmd/report (paper-vs-measured report), cmd/nocsimd (work-queue
-// coordinator and worker), and examples/ — all thin translations over
-// the nocsim package.
+// coordinator and worker), cmd/resultsd (results store, query API and
+// dashboard), and examples/ — all thin translations over the nocsim
+// package.
 //
 // # Benchmarks
 //

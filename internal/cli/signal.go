@@ -7,16 +7,19 @@ import (
 	"context"
 	"os"
 	"os/signal"
+	"syscall"
 )
 
-// SignalContext returns a context cancelled by the first interrupt
-// (Ctrl-C). The cancellation reaches the simulation engine loop, so
-// in-flight runs abort promptly. After the first interrupt the default
-// signal disposition is restored, so a second interrupt kills a stalled
-// process the usual way. The returned stop function releases the signal
-// handler; defer it in main.
+// SignalContext returns a context cancelled by the first SIGINT
+// (Ctrl-C) or SIGTERM (the fleet supervisor's shutdown signal). The
+// cancellation reaches the simulation engine loop, so in-flight runs
+// abort promptly, and the daemons' serve loops, which quiesce and flush
+// their journals before exiting. After the first signal the default
+// disposition is restored, so a second one kills a stalled process the
+// usual way. The returned stop function releases the signal handler;
+// defer it in main.
 func SignalContext() (context.Context, context.CancelFunc) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-ctx.Done()
 		stop()

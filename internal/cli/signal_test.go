@@ -1,0 +1,26 @@
+package cli
+
+import (
+	"os"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestSignalContextSIGTERM pins the daemon shutdown path: SIGTERM — the
+// fleet supervisor's stop signal, not just Ctrl-C's SIGINT — cancels the
+// context, which is what lets nocsimd quiesce and flush its journals
+// instead of dying mid-write.
+func TestSignalContextSIGTERM(t *testing.T) {
+	ctx, stop := SignalContext()
+	defer stop()
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGTERM did not cancel the signal context")
+	}
+}

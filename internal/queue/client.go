@@ -198,6 +198,31 @@ func (c *Client) Points(ctx context.Context, name string) (map[int]nocsim.Result
 	return have, nil
 }
 
+// Metrics fetches the coordinator's raw Prometheus /metrics text — the
+// feed the results dashboard proxies so a browser needs no coordinator
+// credentials of its own.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnauthorized {
+		return nil, fmt.Errorf("%w (GET /metrics)", ErrUnauthorized)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("queue: GET /metrics: %s", resp.Status)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+}
+
 // Status fetches one manifest's progress.
 func (c *Client) Status(ctx context.Context, name string) (Status, error) {
 	var st Status

@@ -1,9 +1,7 @@
 package queue
 
 import (
-	"crypto/sha256"
 	"crypto/subtle"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -14,6 +12,7 @@ import (
 
 	"repro/nocsim"
 	"repro/nocsim/manifest"
+	"repro/nocsim/results"
 )
 
 // Config tunes a Coordinator.
@@ -44,6 +43,13 @@ type Config struct {
 	// Store, when non-nil, journals every accepted result so a restarted
 	// coordinator resumes from disk (hand the loaded points to Add).
 	Store *manifest.DirStore
+	// Results, when non-nil, mirrors every registered plan and accepted
+	// point into the persistent results store the query service reads.
+	// The journal stays the durable source of truth: a results-store
+	// write failure is counted (results_store_errors_total) but does not
+	// fail the post — a backfill import over the journal repairs the
+	// store.
+	Results *results.Store
 	// Clock overrides time.Now for tests.
 	Clock func() time.Time
 }
@@ -55,11 +61,12 @@ type Config struct {
 type Coordinator struct {
 	cfg Config
 
-	mu     sync.Mutex
-	names  []string        // registration order, for fair scanning
-	jobs   map[string]*job // keyed by manifest name
-	sealed bool            // no more Adds coming (see Seal)
-	met    metricsState
+	mu       sync.Mutex
+	names    []string        // registration order, for fair scanning
+	jobs     map[string]*job // keyed by manifest name
+	sealed   bool            // no more Adds coming (see Seal)
+	quiesced bool            // draining for shutdown: no new leases (see Quiesce)
+	met      metricsState
 }
 
 type job struct {
@@ -137,9 +144,19 @@ func (c *Coordinator) Add(m *manifest.Manifest, have map[int]nocsim.Result) erro
 	if _, ok := c.jobs[m.Name]; ok {
 		return fmt.Errorf("queue: manifest %q already registered", m.Name)
 	}
-	sum, err := manifestSum(m)
+	sum, err := manifest.Sum(m)
 	if err != nil {
 		return err
+	}
+	if c.cfg.Results != nil {
+		// Register the plan and backfill the resumed points, so the store
+		// is complete even when it was attached after the journal already
+		// held results. Unlike per-point mirroring this is registration:
+		// failing it loudly here beats serving a store that silently
+		// cannot accept this plan's points.
+		if _, _, err := c.cfg.Results.ImportJournal(m, have); err != nil {
+			return err
+		}
 	}
 	j := &job{
 		m:          m,
@@ -180,15 +197,16 @@ func (c *Coordinator) Seal() {
 	c.sealed = true
 }
 
-// manifestSum fingerprints a plan so leases and posted results can be
-// checked against the manifest a worker actually computed from.
-func manifestSum(m *manifest.Manifest) (string, error) {
-	data, err := json.Marshal(m)
-	if err != nil {
-		return "", err
-	}
-	sum := sha256.Sum256(data)
-	return hex.EncodeToString(sum[:8]), nil
+// Quiesce puts the coordinator into shutdown drain: every further lease
+// request is answered StatusWait, so no new work leaves the building,
+// while posts of already-leased points are still accepted and journaled.
+// It is the first step of a graceful shutdown — quiesce, let the HTTP
+// server drain in-flight requests, then Close to flush and fsync the
+// journals.
+func (c *Coordinator) Quiesce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quiesced = true
 }
 
 // Close releases the journals. Call it after the HTTP server is shut
@@ -248,6 +266,12 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	defer c.mu.Unlock()
 	now := c.cfg.Clock()
 	c.met.touchWorkerLocked(req.Worker, now) // every lease request is a heartbeat
+	if c.quiesced {
+		// Draining for shutdown: grant nothing new, and don't claim
+		// "done" either — the worker should simply wait until the server
+		// goes away (or the operator changes their mind).
+		return LeaseResponse{Status: StatusWait}, nil
+	}
 	outstanding := c.pruneLocked(now)
 
 	scope := c.names
@@ -338,15 +362,27 @@ func (c *Coordinator) PostResult(req ResultRequest) error {
 	}
 	j.pending[req.Index] = true
 	journal := j.journal
+	sum := j.sum
 	c.mu.Unlock()
 
 	var err error
 	if journal != nil {
 		err = journal.Append(req.Index, req.Result)
 	}
+	var storeErr error
+	if err == nil && c.cfg.Results != nil {
+		// Mirror into the results store only once the journal line is
+		// durable: the journal is the source of truth, and a store hiccup
+		// must not fail the post (the backfill importer repairs the store
+		// from the journal).
+		storeErr = c.cfg.Results.AddPoint(sum, req.Index, req.Result)
+	}
 
 	c.mu.Lock()
 	delete(j.pending, req.Index)
+	if storeErr != nil {
+		c.met.resultsStoreErrors++
+	}
 	if err == nil {
 		j.done[req.Index] = req.Result
 		delete(j.leases, req.Index)

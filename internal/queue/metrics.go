@@ -65,11 +65,12 @@ type workerStats struct {
 // metricsState is the coordinator's aggregate counters, guarded by the
 // coordinator mutex.
 type metricsState struct {
-	completedTotal int64 // results accepted (journaled) by this process
-	reissuedTotal  int64 // points re-leased after their lease expired
-	staleRejected  int64 // posts refused for a plan-fingerprint mismatch
-	rate           rateWindow
-	workers        map[string]*workerStats
+	completedTotal     int64 // results accepted (journaled) by this process
+	reissuedTotal      int64 // points re-leased after their lease expired
+	staleRejected      int64 // posts refused for a plan-fingerprint mismatch
+	resultsStoreErrors int64 // accepted points the results store failed to mirror
+	rate               rateWindow
+	workers            map[string]*workerStats
 }
 
 // touchWorkerLocked refreshes (or creates) a worker's attribution entry.
@@ -137,6 +138,10 @@ func (c *Coordinator) renderMetrics(w *bytes.Buffer) {
 	fmt.Fprintf(w, "# HELP nocsim_posts_rejected_stale_total Posted results refused because they were computed against a different plan.\n")
 	fmt.Fprintf(w, "# TYPE nocsim_posts_rejected_stale_total counter\n")
 	fmt.Fprintf(w, "nocsim_posts_rejected_stale_total %d\n", c.met.staleRejected)
+
+	fmt.Fprintf(w, "# HELP nocsim_results_store_errors_total Accepted points the results store failed to mirror (journal still holds them; backfill repairs).\n")
+	fmt.Fprintf(w, "# TYPE nocsim_results_store_errors_total counter\n")
+	fmt.Fprintf(w, "nocsim_results_store_errors_total %d\n", c.met.resultsStoreErrors)
 
 	fmt.Fprintf(w, "# HELP nocsim_manifest_points_total Points in the manifest's plan.\n")
 	fmt.Fprintf(w, "# TYPE nocsim_manifest_points_total gauge\n")

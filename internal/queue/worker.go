@@ -94,7 +94,7 @@ func (w *Worker) manifest(ctx context.Context, name, sum string) (*manifest.Mani
 	if err != nil {
 		return nil, err
 	}
-	got, err := manifestSum(m)
+	got, err := manifest.Sum(m)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,133 @@
+package resultsrv
+
+// dashboardHTML is the live fleet dashboard served at /: a single
+// self-contained page (no external assets — the service may run on an
+// air-gapped cluster) polling the query API for stored plans and the
+// proxied coordinator /metrics for fleet throughput, per-manifest
+// progress and per-worker attribution. With no coordinator configured
+// the fleet panel simply reports the store-only mode.
+const dashboardHTML = `<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>nocsim results</title>
+<style>
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; padding: 0 1rem; color: #1a1a1a; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.6rem; }
+  table { border-collapse: collapse; width: 100%; margin: .5rem 0; }
+  th, td { text-align: left; padding: .25rem .6rem; border-bottom: 1px solid #ddd; font-variant-numeric: tabular-nums; }
+  th { border-bottom: 2px solid #999; }
+  .num { text-align: right; }
+  .stat { display: inline-block; margin-right: 2rem; }
+  .stat b { font-size: 1.4rem; display: block; }
+  .muted { color: #777; }
+  progress { width: 10rem; }
+  a { color: #0b57d0; }
+  code { background: #f2f2f2; padding: 0 .25rem; }
+</style>
+</head>
+<body>
+<h1>nocsim results service</h1>
+<div>
+  <span class="stat"><b id="points-s">–</b>fleet points/s</span>
+  <span class="stat"><b id="store-points">–</b>points stored</span>
+  <span class="stat"><b id="cache-hits">–</b>render cache hits</span>
+  <span class="stat"><b id="cache-misses">–</b>render cache misses</span>
+</div>
+
+<h2>Stored plans</h2>
+<table id="plans"><thead><tr>
+  <th>name</th><th>plan</th><th>options</th><th class="num">done</th><th class="num">total</th><th>progress</th><th>tables</th>
+</tr></thead><tbody></tbody></table>
+
+<h2>Fleet <span id="fleet-note" class="muted"></span></h2>
+<table id="manifests"><thead><tr>
+  <th>manifest</th><th class="num">done</th><th class="num">total</th><th>progress</th><th class="num">lease TTL (s)</th>
+</tr></thead><tbody></tbody></table>
+<table id="workers"><thead><tr>
+  <th>worker</th><th class="num">points</th><th>last seen</th>
+</tr></thead><tbody></tbody></table>
+
+<p class="muted">Query API: <code>/api/plans</code>, <code>/api/points?plan=fig7&amp;policy=rmsd&amp;min_load=0.2</code>,
+<code>/api/tables/fig7?format=text</code>, <code>/api/stats</code>.</p>
+
+<script>
+"use strict";
+const $ = (id) => document.getElementById(id);
+const esc = (s) => String(s).replace(/[&<>"]/g, (c) => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[c]));
+
+// parseProm turns Prometheus text into [{name, labels:{k:v}, value}].
+function parseProm(text) {
+  const out = [];
+  for (const line of text.split('\n')) {
+    if (!line || line.startsWith('#')) continue;
+    const m = line.match(/^(\w+)(?:\{(.*)\})? (.+)$/);
+    if (!m) continue;
+    const labels = {};
+    if (m[2]) for (const kv of m[2].match(/\w+="(?:[^"\\]|\\.)*"/g) || []) {
+      const eq = kv.indexOf('=');
+      labels[kv.slice(0, eq)] = JSON.parse(kv.slice(eq + 1));
+    }
+    out.push({name: m[1], labels, value: parseFloat(m[3])});
+  }
+  return out;
+}
+
+async function refreshStore() {
+  const [plans, stats] = await Promise.all([
+    fetch('api/plans').then(r => r.json()),
+    fetch('api/stats').then(r => r.json()),
+  ]);
+  $('store-points').textContent = stats.points;
+  $('cache-hits').textContent = stats.render_cache_hits;
+  $('cache-misses').textContent = stats.render_cache_misses;
+  $('plans').tBodies[0].innerHTML = (plans || []).map(p => {
+    const opts = (p.quick ? 'quick, ' : '') + p.points + ' pts/curve, seed ' + p.seed;
+    const link = p.complete ? '<a href="api/tables/' + esc(p.sum) + '?format=text">text</a> <a href="api/tables/' + esc(p.sum) + '?format=json">json</a>' : '<span class="muted">incomplete</span>';
+    return '<tr><td>' + esc(p.name) + '</td><td><code>' + esc(p.sum) + '</code></td><td>' + esc(opts) +
+      '</td><td class="num">' + p.done + '</td><td class="num">' + p.total +
+      '</td><td><progress max="' + p.total + '" value="' + p.done + '"></progress></td><td>' + link + '</td></tr>';
+  }).join('');
+}
+
+async function refreshFleet() {
+  const resp = await fetch('api/coordinator/metrics');
+  if (!resp.ok) {
+    $('fleet-note').textContent = resp.status === 404 ?
+      '(no coordinator configured; store-only mode)' : '(coordinator unreachable)';
+    return;
+  }
+  const series = parseProm(await resp.text());
+  const one = (name) => { const s = series.find(x => x.name === name); return s ? s.value : NaN; };
+  $('points-s').textContent = one('nocsim_points_per_second').toFixed(2);
+  $('fleet-note').textContent = '(' + one('nocsim_leases_outstanding') + ' leases outstanding, ' +
+    one('nocsim_points_completed_total') + ' points completed)';
+  const totals = {}, dones = {}, ttls = {};
+  for (const s of series) {
+    if (s.name === 'nocsim_manifest_points_total') totals[s.labels.manifest] = s.value;
+    if (s.name === 'nocsim_manifest_points_done') dones[s.labels.manifest] = s.value;
+    if (s.name === 'nocsim_lease_ttl_seconds') ttls[s.labels.manifest] = s.value;
+  }
+  $('manifests').tBodies[0].innerHTML = Object.keys(totals).sort().map(m =>
+    '<tr><td>' + esc(m) + '</td><td class="num">' + (dones[m] || 0) + '</td><td class="num">' + totals[m] +
+    '</td><td><progress max="' + totals[m] + '" value="' + (dones[m] || 0) + '"></progress></td><td class="num">' +
+    (ttls[m] === undefined ? '' : ttls[m].toFixed(1)) + '</td></tr>').join('');
+  const workers = series.filter(s => s.name === 'nocsim_worker_points_completed_total');
+  const seen = {};
+  for (const s of series) if (s.name === 'nocsim_worker_last_seen_timestamp_seconds') seen[s.labels.worker] = s.value;
+  $('workers').tBodies[0].innerHTML = workers.sort((a, b) => b.value - a.value).map(s => {
+    const ago = seen[s.labels.worker] ? Math.max(0, Date.now() / 1000 - seen[s.labels.worker]).toFixed(0) + 's ago' : '';
+    return '<tr><td>' + esc(s.labels.worker) + '</td><td class="num">' + s.value + '</td><td>' + ago + '</td></tr>';
+  }).join('');
+}
+
+async function tick() {
+  try { await refreshStore(); } catch (e) { /* transient */ }
+  try { await refreshFleet(); } catch (e) { $('fleet-note').textContent = '(coordinator unreachable)'; }
+}
+tick();
+setInterval(tick, 2000);
+</script>
+</body>
+</html>
+`

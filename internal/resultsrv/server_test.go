@@ -1,0 +1,299 @@
+package resultsrv
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+	"repro/nocsim"
+	"repro/nocsim/manifest"
+	"repro/nocsim/results"
+)
+
+// testManifest builds a renderable fig7-shaped manifest (three policies
+// over the given loads, calibration pinned) without running simulations.
+func testManifest(t *testing.T, loads ...float64) *manifest.Manifest {
+	t.Helper()
+	base := nocsim.Scenario{Mesh: nocsim.DefaultMesh(), Pattern: "uniform", Quick: true, Seed: 1}.Normalized()
+	base.Calibration = &nocsim.Calibration{SaturationRate: 0.6, LambdaMax: 0.54, TargetDelayNs: 100}
+	return &manifest.Manifest{Name: "fig7", Quick: true, Points: len(loads), Seed: 1, Panels: []manifest.Panel{
+		{Label: "uniform", Grid: nocsim.Grid{Base: base, Loads: loads, Policies: nocsim.AllPolicies()}},
+	}}
+}
+
+func fakeResult(t *testing.T, m *manifest.Manifest, i int) nocsim.Result {
+	t.Helper()
+	_, sc, err := m.Point(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r nocsim.Result
+	r.Scenario = sc
+	r.AvgDelayNs = float64(100 + i)
+	r.Meta.PointIndex = i
+	return r
+}
+
+// storeWith opens a store and ingests the manifest with all (or the
+// first n, if n >= 0) of its points filled in.
+func storeWith(t *testing.T, path string, n int, ms ...*manifest.Manifest) *results.Store {
+	t.Helper()
+	s, err := results.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	for _, m := range ms {
+		sum, err := s.AddManifest(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		limit := m.NumPoints()
+		if n >= 0 && n < limit {
+			limit = n
+		}
+		for i := 0; i < limit; i++ {
+			if err := s.AddPoint(sum, i, fakeResult(t, m, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return s
+}
+
+// TestRenderCacheKeying is the cache-keying acceptance test: identical
+// plan fingerprints share one cached render (hits counting up), and
+// changing any planning knob yields a new fingerprint and a cache miss.
+func TestRenderCacheKeying(t *testing.T) {
+	dir := t.TempDir()
+	m1 := testManifest(t, 0.1, 0.2)
+	srv := &Server{Store: storeWith(t, filepath.Join(dir, "r.jsonl"), -1, m1)}
+	sum1, _ := manifest.Sum(m1)
+
+	if _, hit, err := srv.Tables(sum1); err != nil || hit {
+		t.Fatalf("first render = (hit=%v, %v), want a miss", hit, err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, hit, err := srv.Tables(sum1); err != nil || !hit {
+			t.Fatalf("repeat render %d = (hit=%v, %v), want a hit", i, hit, err)
+		}
+	}
+	// By name resolves to the same fingerprint, so it hits too.
+	if _, hit, err := srv.Tables("fig7"); err != nil || !hit {
+		t.Fatalf("render by name = (hit=%v, %v), want a hit", hit, err)
+	}
+	st := srv.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 4 {
+		t.Fatalf("stats = %d misses / %d hits, want 1 / 4", st.CacheMisses, st.CacheHits)
+	}
+
+	// One changed knob — a single load value — is a different plan: new
+	// fingerprint, cache miss.
+	m2 := testManifest(t, 0.1, 0.25)
+	sum2, err := srv.Store.AddManifest(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum2 == sum1 {
+		t.Fatalf("changed load kept fingerprint %s", sum1)
+	}
+	for i := 0; i < m2.NumPoints(); i++ {
+		if err := srv.Store.AddPoint(sum2, i, fakeResult(t, m2, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, hit, err := srv.Tables(sum2); err != nil || hit {
+		t.Fatalf("render of changed plan = (hit=%v, %v), want a miss", hit, err)
+	}
+	if st := srv.Stats(); st.CacheMisses != 2 {
+		t.Fatalf("misses after changed plan = %d, want 2", st.CacheMisses)
+	}
+	// Every other knob also moves the fingerprint.
+	for name, mutate := range map[string]func(*manifest.Manifest){
+		"seed":    func(m *manifest.Manifest) { m.Seed = 2 },
+		"quick":   func(m *manifest.Manifest) { m.Quick = false },
+		"pattern": func(m *manifest.Manifest) { m.Panels[0].Grid.Base.Pattern = "tornado" },
+		"mesh":    func(m *manifest.Manifest) { m.Panels[0].Grid.Base.Mesh.Width = 8 },
+	} {
+		m := testManifest(t, 0.1, 0.2)
+		mutate(m)
+		if sum, _ := manifest.Sum(m); sum == sum1 {
+			t.Errorf("changing %s kept fingerprint %s", name, sum1)
+		}
+	}
+}
+
+// TestTablesByteIdenticalToFigures pins the acceptance criterion that the
+// query API's text rendering matches what cmd/figures prints for the
+// same manifest and results: both are sweep.Render + Table.Format.
+func TestTablesByteIdenticalToFigures(t *testing.T) {
+	m := testManifest(t, 0.1, 0.2, 0.3)
+	srv := &Server{Store: storeWith(t, filepath.Join(t.TempDir(), "r.jsonl"), -1, m)}
+
+	flat := make([]nocsim.Result, m.NumPoints())
+	for i := range flat {
+		flat[i] = fakeResult(t, m, i)
+	}
+	want, err := sweep.Render(m, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ref bytes.Buffer
+	for i := range want {
+		if err := want[i].Format(&ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ref.Len() == 0 {
+		t.Fatal("reference render is empty; the comparison proves nothing")
+	}
+
+	tables, _, err := srv.Tables("fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FormatTables(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, ref.Bytes()) {
+		t.Fatalf("service tables differ from direct render:\n--- direct ---\n%s--- service ---\n%s", ref.Bytes(), got)
+	}
+}
+
+// TestHandler drives the HTTP API end to end: plans, filtered points,
+// tables with the cache header, the 409 for incomplete plans, stats and
+// Prometheus metrics.
+func TestHandler(t *testing.T) {
+	m := testManifest(t, 0.1, 0.2)
+	srv := &Server{Store: storeWith(t, filepath.Join(t.TempDir(), "r.jsonl"), -1, m)}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	resp, body := get("/api/plans")
+	var plans []results.PlanInfo
+	if err := json.Unmarshal(body, &plans); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("plans: status %d, err %v", resp.StatusCode, err)
+	}
+	if len(plans) != 1 || plans[0].Name != "fig7" || !plans[0].Complete {
+		t.Fatalf("plans = %+v", plans)
+	}
+
+	resp, body = get("/api/points?plan=fig7&policy=rmsd&min_load=0.15")
+	var pts []results.Point
+	if err := json.Unmarshal(body, &pts); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("points: status %d, err %v", resp.StatusCode, err)
+	}
+	if len(pts) != 1 || pts[0].Scenario.Policy != nocsim.RMSD {
+		t.Fatalf("filtered points = %+v", pts)
+	}
+	if resp, _ = get("/api/points?bogus=1"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus filter: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, first := get("/api/tables/fig7?format=text")
+	if resp.StatusCode != 200 || resp.Header.Get("X-Render-Cache") != "miss" {
+		t.Fatalf("first tables: status %d, cache %q", resp.StatusCode, resp.Header.Get("X-Render-Cache"))
+	}
+	resp, second := get("/api/tables/fig7?format=text")
+	if resp.Header.Get("X-Render-Cache") != "hit" {
+		t.Fatalf("second tables: cache %q, want hit", resp.Header.Get("X-Render-Cache"))
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cached render differs from the original")
+	}
+	if resp, _ = get("/api/tables/fig7?format=yaml"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ = get("/api/tables/nosuch"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown plan: status %d, want 404", resp.StatusCode)
+	}
+
+	resp, body = get("/api/stats")
+	var st Stats
+	if err := json.Unmarshal(body, &st); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("stats: status %d, err %v", resp.StatusCode, err)
+	}
+	// Hits: the second text request plus the format=yaml one (the cache
+	// lookup precedes the format check). Misses: only the first render.
+	if st.CacheHits != 2 || st.CacheMisses != 1 || st.Plans != 1 || st.Points != m.NumPoints() {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	_, body = get("/metrics")
+	for _, series := range []string{
+		"nocsim_results_queries_total",
+		"nocsim_results_render_cache_hits_total 2",
+		"nocsim_results_render_cache_misses_total 1",
+		"nocsim_results_plans 1",
+	} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("metrics missing %q:\n%s", series, body)
+		}
+	}
+
+	// No coordinator configured: the proxy route says so.
+	if resp, _ = get("/api/coordinator/metrics"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("coordinator proxy without coordinator: status %d, want 404", resp.StatusCode)
+	}
+
+	// The dashboard is served at / only.
+	if resp, _ = get("/"); resp.StatusCode != 200 {
+		t.Fatalf("dashboard: status %d", resp.StatusCode)
+	}
+	if resp, _ = get("/nosuch"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestIncompletePlanConflict: rendering a plan that is still missing
+// points reports 409 with progress, and nothing is cached for it.
+func TestIncompletePlanConflict(t *testing.T) {
+	m := testManifest(t, 0.1, 0.2)
+	srv := &Server{Store: storeWith(t, filepath.Join(t.TempDir(), "r.jsonl"), 2, m)}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/api/tables/fig7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("incomplete plan: status %d, want 409", resp.StatusCode)
+	}
+	var progress struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal(body, &progress); err != nil {
+		t.Fatal(err)
+	}
+	if progress.Done != 2 || progress.Total != m.NumPoints() {
+		t.Fatalf("progress = %+v, want 2/%d", progress, m.NumPoints())
+	}
+	if st := srv.Stats(); st.CacheHits+st.CacheMisses != 0 {
+		t.Fatalf("incomplete render touched the cache: %+v", st)
+	}
+}

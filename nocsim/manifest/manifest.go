@@ -23,6 +23,8 @@
 package manifest
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -92,6 +94,22 @@ func (m *Manifest) Offsets() []int {
 		off[i+1] = off[i] + p.Grid.Len()
 	}
 	return off
+}
+
+// Sum fingerprints a resolved plan: the hex digest of the manifest's
+// canonical JSON form. Two manifests share a sum exactly when every
+// planning knob — name, options, panel labels, resolved grids including
+// pinned calibrations — is identical, so the sum is a safe identity for
+// cross-machine result exchange (the queue coordinator stamps it on
+// leases and checks it on posts) and for caches of anything derived from
+// a complete plan (the results service keys rendered tables by it).
+func Sum(m *Manifest) (string, error) {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8]), nil
 }
 
 // Point resolves global point index i to its panel and self-contained

@@ -50,6 +50,56 @@ func TestPointResolution(t *testing.T) {
 	}
 }
 
+// TestSumIsPlanIdentity pins the fingerprint contract shared by the
+// work-queue identity checks and the results service's render cache:
+// equal plans hash equal, any changed knob changes the hash, and the
+// hash is stable across a JSON round-trip (a reloaded manifest is the
+// same plan).
+func TestSumIsPlanIdentity(t *testing.T) {
+	mk := func() *Manifest {
+		return &Manifest{Name: "x", Quick: true, Points: 2, Seed: 1, Panels: []Panel{
+			{Label: "a", Grid: nocsim.Grid{Base: testBase(t), Loads: []float64{0.1, 0.2}, Policies: nocsim.AllPolicies()}},
+		}}
+	}
+	sum, err := Sum(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum) != 16 {
+		t.Fatalf("Sum = %q, want 16 hex chars", sum)
+	}
+	if again, _ := Sum(mk()); again != sum {
+		t.Fatalf("equal plans hash differently: %s vs %s", sum, again)
+	}
+
+	data, err := json.Marshal(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reloaded Manifest
+	if err := json.Unmarshal(data, &reloaded); err != nil {
+		t.Fatal(err)
+	}
+	if rsum, _ := Sum(&reloaded); rsum != sum {
+		t.Fatalf("JSON round-trip changed sum: %s vs %s", rsum, sum)
+	}
+
+	for name, mutate := range map[string]func(*Manifest){
+		"name":   func(m *Manifest) { m.Name = "y" },
+		"quick":  func(m *Manifest) { m.Quick = false },
+		"seed":   func(m *Manifest) { m.Seed = 2 },
+		"load":   func(m *Manifest) { m.Panels[0].Grid.Loads[1] = 0.25 },
+		"policy": func(m *Manifest) { m.Panels[0].Grid.Policies = m.Panels[0].Grid.Policies[:2] },
+		"mesh":   func(m *Manifest) { m.Panels[0].Grid.Base.Mesh.Width = 8 },
+	} {
+		m := mk()
+		mutate(m)
+		if msum, err := Sum(m); err != nil || msum == sum {
+			t.Errorf("mutating %s: sum %s (err %v), want a different sum", name, msum, err)
+		}
+	}
+}
+
 func TestDirStoreRoundTrip(t *testing.T) {
 	st, err := NewDirStore(t.TempDir())
 	if err != nil {

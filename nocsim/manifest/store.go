@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 
 	"repro/nocsim"
@@ -39,6 +41,24 @@ func (st *DirStore) ManifestPath(name string) string {
 // PointsPath returns the path of the named points journal.
 func (st *DirStore) PointsPath(name string) string {
 	return filepath.Join(st.Dir, name+".points.jsonl")
+}
+
+// Names lists the manifests stored in the directory (every
+// <name>.manifest.json), sorted. It is how a backfill over an existing
+// manifest directory discovers what there is to ingest.
+func (st *DirStore) Names() ([]string, error) {
+	entries, err := os.ReadDir(st.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if n, ok := strings.CutSuffix(e.Name(), ".manifest.json"); ok && !e.IsDir() {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
 }
 
 // LoadManifest reads a stored manifest; it returns (nil, nil) when none
@@ -143,7 +163,7 @@ type Journal struct {
 // every later LoadPoints. Close the journal when the run finishes.
 func (st *DirStore) Journal(name string) (*Journal, error) {
 	path := st.PointsPath(name)
-	if err := truncatePartialTail(path); err != nil {
+	if err := TruncatePartialTail(path); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -172,7 +192,9 @@ func (j *Journal) Append(i int, r nocsim.Result) error {
 	return j.f.Sync()
 }
 
-// Close flushes and closes the journal file.
+// Close flushes, fsyncs and closes the journal file, so a graceful
+// shutdown leaves every accepted line durable even if some Append was
+// interrupted between its write and its sync.
 func (j *Journal) Close() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -180,13 +202,19 @@ func (j *Journal) Close() error {
 		j.f.Close()
 		return err
 	}
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
 	return j.f.Close()
 }
 
-// truncatePartialTail cuts a points file back to its last complete
-// (newline-terminated) line. A missing file is fine; so is a healthy
-// one — the common case costs one stat and one 1-byte read.
-func truncatePartialTail(path string) error {
+// TruncatePartialTail cuts an append-only record file back to its last
+// complete (newline-terminated) line — the crash-recovery step shared by
+// the points Journal and the results store, which reuse the same
+// line-per-record codec. A missing file is fine; so is a healthy one —
+// the common case costs one stat and one 1-byte read.
+func TruncatePartialTail(path string) error {
 	f, err := os.OpenFile(path, os.O_RDWR, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return nil

@@ -1,0 +1,75 @@
+package results
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/nocsim"
+	"repro/nocsim/manifest"
+)
+
+// countLocked returns how many points of the plan are stored.
+func (s *Store) count(sum string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.plans[sum]; ok {
+		return len(p.points)
+	}
+	return 0
+}
+
+// ImportJournal ingests one manifest and its completed points (a loaded
+// DirStore journal) into the store, returning the plan's fingerprint and
+// how many points were newly stored. Points are ingested in index order,
+// so a store populated only by this import exports the same journal a
+// serial run would have written, byte for byte (see ExportJournal). The
+// import is idempotent: re-importing converges instead of duplicating.
+func (s *Store) ImportJournal(m *manifest.Manifest, points map[int]nocsim.Result) (sum string, added int, err error) {
+	sum, err = s.AddManifest(m)
+	if err != nil {
+		return "", 0, err
+	}
+	before := s.count(sum)
+	idx := make([]int, 0, len(points))
+	for i := range points {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		if err := s.AddPoint(sum, i, points[i]); err != nil {
+			return sum, s.count(sum) - before, err
+		}
+	}
+	return sum, s.count(sum) - before, nil
+}
+
+// ImportDir backfills every manifest stored in a DirStore directory —
+// the journals accumulated by local -manifest runs and by coordinators —
+// into the results store. It returns the number of manifests processed
+// and points newly ingested.
+func (s *Store) ImportDir(st *manifest.DirStore) (plans, points int, err error) {
+	names, err := st.Names()
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, name := range names {
+		m, err := st.LoadManifest(name)
+		if err != nil {
+			return plans, points, err
+		}
+		if m == nil {
+			continue
+		}
+		have, err := st.LoadPoints(name)
+		if err != nil {
+			return plans, points, fmt.Errorf("results: importing %s: %w", name, err)
+		}
+		_, added, err := s.ImportJournal(m, have)
+		if err != nil {
+			return plans, points, fmt.Errorf("results: importing %s: %w", name, err)
+		}
+		plans++
+		points += added
+	}
+	return plans, points, nil
+}

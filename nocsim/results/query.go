@@ -1,0 +1,154 @@
+package results
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/nocsim"
+)
+
+// Query selects stored points. Every zero-valued field means "any";
+// set fields combine with AND. Scenario-level filters (policy, pattern,
+// app, mesh, load) match against the fully resolved scenario each result
+// carries, so they need no knowledge of how the plan laid out its grid.
+type Query struct {
+	// Plan restricts to one plan: a fingerprint or a manifest name (a
+	// name picks the latest plan with that name, as Store.Resolve does).
+	Plan string `json:"plan,omitempty"`
+	// Panel restricts to one panel label within the plan(s).
+	Panel string `json:"panel,omitempty"`
+	// Policy, Pattern, App and Mesh filter on the executed scenario.
+	// Mesh is "WxH", e.g. "5x5".
+	Policy  string `json:"policy,omitempty"`
+	Pattern string `json:"pattern,omitempty"`
+	App     string `json:"app,omitempty"`
+	Mesh    string `json:"mesh,omitempty"`
+	// MinLoad and MaxLoad bound the operating point (inclusive); a zero
+	// MaxLoad means unbounded.
+	MinLoad float64 `json:"min_load,omitempty"`
+	MaxLoad float64 `json:"max_load,omitempty"`
+	// Limit caps the number of returned points; zero means no cap.
+	Limit int `json:"limit,omitempty"`
+}
+
+// Point is one query hit: where the result lives in its plan, plus the
+// result itself.
+type Point struct {
+	Name  string `json:"name"`
+	Sum   string `json:"sum"`
+	Panel string `json:"panel"`
+	Index int    `json:"index"`
+	nocsim.Result
+}
+
+// Select returns the stored points matching q, ordered by plan ingest
+// order then point index.
+func (s *Store) Select(q Query) ([]Point, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	scope := s.order
+	if q.Plan != "" {
+		sum := q.Plan
+		if _, ok := s.plans[sum]; !ok {
+			sums := s.names[q.Plan]
+			if len(sums) == 0 {
+				return nil, fmt.Errorf("results: unknown plan %q", q.Plan)
+			}
+			sum = sums[len(sums)-1]
+		}
+		scope = []string{sum}
+	}
+	var out []Point
+	for _, sum := range scope {
+		p := s.plans[sum]
+		idx := make([]int, 0, len(p.points))
+		for i := range p.points {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		for _, i := range idx {
+			r := p.points[i]
+			label := p.label(i)
+			if !q.matches(label, &r) {
+				continue
+			}
+			out = append(out, Point{Name: p.m.Name, Sum: sum, Panel: label, Index: i, Result: r})
+			if q.Limit > 0 && len(out) >= q.Limit {
+				return out, nil
+			}
+		}
+	}
+	return out, nil
+}
+
+// label returns the panel label of global point index i.
+func (p *plan) label(i int) string {
+	pi := sort.SearchInts(p.offs[1:], i+1)
+	if pi >= len(p.m.Panels) {
+		return ""
+	}
+	return p.m.Panels[pi].Label
+}
+
+func (q *Query) matches(panel string, r *nocsim.Result) bool {
+	sc := &r.Scenario
+	switch {
+	case q.Panel != "" && panel != q.Panel:
+		return false
+	case q.Policy != "" && string(sc.Policy) != q.Policy:
+		return false
+	case q.Pattern != "" && sc.Pattern != q.Pattern:
+		return false
+	case q.App != "" && sc.App != q.App:
+		return false
+	case q.Mesh != "" && fmt.Sprintf("%dx%d", sc.Mesh.Width, sc.Mesh.Height) != q.Mesh:
+		return false
+	case sc.Load < q.MinLoad:
+		return false
+	case q.MaxLoad > 0 && sc.Load > q.MaxLoad:
+		return false
+	}
+	return true
+}
+
+// ParseQuery builds a Query from URL-style key=value parameters — the
+// shared vocabulary of the HTTP API and tests. Unknown keys error, so a
+// typoed filter cannot silently select everything.
+func ParseQuery(params map[string]string) (Query, error) {
+	var q Query
+	for k, v := range params {
+		switch k {
+		case "plan", "fig", "manifest":
+			q.Plan = v
+		case "panel":
+			q.Panel = v
+		case "policy":
+			q.Policy = v
+		case "pattern":
+			q.Pattern = v
+		case "app":
+			q.App = v
+		case "mesh":
+			q.Mesh = v
+		case "min_load":
+			if _, err := fmt.Sscanf(v, "%g", &q.MinLoad); err != nil {
+				return Query{}, fmt.Errorf("results: bad min_load %q", v)
+			}
+		case "max_load":
+			if _, err := fmt.Sscanf(v, "%g", &q.MaxLoad); err != nil {
+				return Query{}, fmt.Errorf("results: bad max_load %q", v)
+			}
+		case "limit":
+			if _, err := fmt.Sscanf(v, "%d", &q.Limit); err != nil {
+				return Query{}, fmt.Errorf("results: bad limit %q", v)
+			}
+		default:
+			return Query{}, fmt.Errorf("results: unknown query parameter %q (want plan/panel/policy/pattern/app/mesh/min_load/max_load/limit)", k)
+		}
+	}
+	if strings.Contains(q.Mesh, " ") {
+		return Query{}, fmt.Errorf("results: bad mesh %q (want WxH, e.g. 5x5)", q.Mesh)
+	}
+	return q, nil
+}

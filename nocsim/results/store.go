@@ -1,0 +1,437 @@
+// Package results is the persistent, queryable results layer behind the
+// results service: one single-file store holding every completed
+// simulation point of every plan ever ingested, as the durable source of
+// truth that many readers can query concurrently while sweeps are still
+// running.
+//
+// The container ships no database, so the store is built on the same
+// line-per-record JSON codec as the manifest journals: an append-only
+// file of records — each either a full manifest (a plan, identified by
+// its manifest.Sum fingerprint) or one completed point of a plan — with
+// every append flushed and fsynced, torn tails skipped on load, and an
+// in-memory index (by plan, by name, by point) rebuilt on open. The
+// query contract, not the storage engine, is the interface: filter
+// points by manifest/panel/policy/pattern/app/mesh/load, fetch a plan's
+// complete result set for rendering, and export a plan back out as a
+// byte-identical points journal.
+//
+// Concurrency model: exactly one writer may have the file open
+// read-write (the queue coordinator ingesting live results, or a
+// backfill import); any number of read-only stores may follow the same
+// file concurrently, picking up newly appended records with Refresh.
+// A read-only open never truncates the live writer's torn tail — it
+// simply stops at the last complete line and resumes there.
+package results
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+
+	"repro/nocsim"
+	"repro/nocsim/manifest"
+)
+
+// record is one line of the store file. Exactly one of Manifest and
+// Point is set, per Kind.
+type record struct {
+	// Kind is "manifest" (a plan registration) or "point" (one completed
+	// point of a previously registered plan).
+	Kind string `json:"kind"`
+	// Sum is the plan fingerprint (manifest.Sum) the record belongs to.
+	Sum string `json:"sum"`
+	// Manifest is the full plan, for kind "manifest".
+	Manifest *manifest.Manifest `json:"manifest,omitempty"`
+	// Point is the completed point in exactly the journal's Record form,
+	// for kind "point" — which is what makes exporting a plan back out as
+	// a points journal byte-identical.
+	Point *manifest.Record `json:"point,omitempty"`
+}
+
+const (
+	kindManifest = "manifest"
+	kindPoint    = "point"
+)
+
+// plan is the in-memory index of one ingested manifest.
+type plan struct {
+	sum    string
+	m      *manifest.Manifest
+	offs   []int // panel offsets, for point → panel label resolution
+	points map[int]nocsim.Result
+}
+
+// PlanInfo summarizes one stored plan for listings and the dashboard.
+type PlanInfo struct {
+	Sum    string `json:"sum"`
+	Name   string `json:"name"`
+	Quick  bool   `json:"quick,omitempty"`
+	Points int    `json:"points"`
+	Seed   int64  `json:"seed"`
+	Total  int    `json:"total"`
+	Done   int    `json:"done"`
+	// Complete reports whether every point of the plan is stored — the
+	// precondition for rendering its tables.
+	Complete bool `json:"complete"`
+}
+
+// Store is the single-file results store. All methods are safe for
+// concurrent use.
+type Store struct {
+	path     string
+	readOnly bool
+
+	mu    sync.Mutex
+	f     *os.File // nil in read-only mode and after Close
+	w     *bufio.Writer
+	off   int64               // bytes of the file consumed by the index
+	plans map[string]*plan    // keyed by manifest.Sum
+	order []string            // sums in first-ingested order
+	names map[string][]string // manifest name -> sums in first-ingested order
+}
+
+// Open opens (creating if needed) the store for reading and writing:
+// the mode for the single ingesting process. Any torn tail a crash left
+// behind is truncated before the index is rebuilt.
+func Open(path string) (*Store, error) {
+	if err := manifest.TruncatePartialTail(path); err != nil {
+		return nil, err
+	}
+	s := newStore(path, false)
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	return s, nil
+}
+
+// OpenReadOnly opens the store as a follower: queries only, no appends,
+// and never a truncation (the live writer owns the file's tail). A
+// missing file is an empty store; Refresh picks the records up once the
+// writer creates it.
+func OpenReadOnly(path string) (*Store, error) {
+	s := newStore(path, true)
+	if err := s.replay(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newStore(path string, readOnly bool) *Store {
+	return &Store{
+		path:     path,
+		readOnly: readOnly,
+		plans:    map[string]*plan{},
+		names:    map[string][]string{},
+	}
+}
+
+// replay scans the file from s.off, indexing every complete line, and
+// advances s.off past the consumed bytes. A torn tail (no trailing
+// newline yet) is left for the next call. Callers hold s.mu (or own the
+// store exclusively, during open).
+func (s *Store) replay() error {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if _, err := f.Seek(s.off, io.SeekStart); err != nil {
+		return err
+	}
+	rd := bufio.NewReaderSize(f, 1<<20)
+	for {
+		line, err := rd.ReadBytes('\n')
+		if err == io.EOF {
+			return nil // torn or empty tail: wait for the writer to finish it
+		}
+		if err != nil {
+			return err
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("results: %s at offset %d: %w", s.path, s.off, err)
+		}
+		if err := s.indexLocked(&rec); err != nil {
+			return fmt.Errorf("results: %s at offset %d: %w", s.path, s.off, err)
+		}
+		s.off += int64(len(line))
+	}
+}
+
+// indexLocked folds one record into the in-memory index. Callers hold
+// s.mu.
+func (s *Store) indexLocked(rec *record) error {
+	switch rec.Kind {
+	case kindManifest:
+		if rec.Manifest == nil || rec.Sum == "" {
+			return errors.New("manifest record without manifest or sum")
+		}
+		if _, ok := s.plans[rec.Sum]; ok {
+			return nil // re-ingested plan: first registration stands
+		}
+		p := &plan{
+			sum:    rec.Sum,
+			m:      rec.Manifest,
+			offs:   rec.Manifest.Offsets(),
+			points: map[int]nocsim.Result{},
+		}
+		s.plans[rec.Sum] = p
+		s.order = append(s.order, rec.Sum)
+		s.names[p.m.Name] = append(s.names[p.m.Name], rec.Sum)
+		return nil
+	case kindPoint:
+		if rec.Point == nil || rec.Sum == "" {
+			return errors.New("point record without point or sum")
+		}
+		p, ok := s.plans[rec.Sum]
+		if !ok {
+			return fmt.Errorf("point for unregistered plan %s", rec.Sum)
+		}
+		i := rec.Point.Index
+		if i < 0 || i >= p.m.NumPoints() {
+			return fmt.Errorf("plan %s point %d out of range [0, %d)", rec.Sum, i, p.m.NumPoints())
+		}
+		if _, ok := p.points[i]; ok {
+			return nil // duplicate: first result wins, like the journal
+		}
+		p.points[i] = rec.Point.Result
+		return nil
+	default:
+		return fmt.Errorf("unknown record kind %q", rec.Kind)
+	}
+}
+
+// appendLocked writes one record line durably: marshal, write, flush,
+// fsync. Callers hold s.mu.
+func (s *Store) appendLocked(rec *record) error {
+	if s.readOnly {
+		return errors.New("results: store is read-only")
+	}
+	if s.f == nil {
+		return errors.New("results: store is closed")
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := s.w.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// AddManifest registers a plan, returning its fingerprint. Re-adding a
+// plan already stored (same sum) is a no-op — restarted coordinators and
+// repeated backfills converge instead of duplicating.
+func (s *Store) AddManifest(m *manifest.Manifest) (string, error) {
+	sum, err := manifest.Sum(m)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.plans[sum]; ok {
+		return sum, nil
+	}
+	rec := &record{Kind: kindManifest, Sum: sum, Manifest: m}
+	if err := s.appendLocked(rec); err != nil {
+		return "", err
+	}
+	return sum, s.indexLocked(rec)
+}
+
+// AddPoint stores one completed point of a registered plan. The first
+// result for a (plan, index) pair wins; a duplicate is acknowledged
+// without a second line, so exporting the plan yields each point exactly
+// once.
+func (s *Store) AddPoint(sum string, index int, r nocsim.Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.plans[sum]
+	if !ok {
+		return fmt.Errorf("results: point for unregistered plan %s", sum)
+	}
+	if index < 0 || index >= p.m.NumPoints() {
+		return fmt.Errorf("results: plan %s point %d out of range [0, %d)", sum, index, p.m.NumPoints())
+	}
+	if _, ok := p.points[index]; ok {
+		return nil
+	}
+	rec := &record{Kind: kindPoint, Sum: sum, Point: &manifest.Record{Index: index, Result: r}}
+	if err := s.appendLocked(rec); err != nil {
+		return err
+	}
+	return s.indexLocked(rec)
+}
+
+// Refresh folds in any records other processes appended since the last
+// open or Refresh — the read-only follower's poll. On a writable store
+// it is a cheap no-op (the writer's own appends are already indexed).
+func (s *Store) Refresh() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.readOnly {
+		return nil
+	}
+	return s.replay()
+}
+
+// Plans lists the stored plans in first-ingested order.
+func (s *Store) Plans() []PlanInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PlanInfo, 0, len(s.order))
+	for _, sum := range s.order {
+		out = append(out, s.plans[sum].info())
+	}
+	return out
+}
+
+func (p *plan) info() PlanInfo {
+	total := p.m.NumPoints()
+	return PlanInfo{
+		Sum: p.sum, Name: p.m.Name, Quick: p.m.Quick, Points: p.m.Points, Seed: p.m.Seed,
+		Total: total, Done: len(p.points), Complete: len(p.points) == total,
+	}
+}
+
+// Manifest returns a stored plan by fingerprint.
+func (s *Store) Manifest(sum string) (*manifest.Manifest, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.plans[sum]
+	if !ok {
+		return nil, false
+	}
+	return p.m, true
+}
+
+// Resolve maps a plan reference — a fingerprint, or a manifest name —
+// to a stored plan's fingerprint. A name picks the most recently
+// ingested plan with that name (new plans supersede old ones in the
+// service's eyes; older ones stay addressable by sum).
+func (s *Store) Resolve(ref string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.plans[ref]; ok {
+		return ref, true
+	}
+	sums := s.names[ref]
+	if len(sums) == 0 {
+		return "", false
+	}
+	return sums[len(sums)-1], true
+}
+
+// PointsOf returns a copy of the plan's stored results keyed by point
+// index.
+func (s *Store) PointsOf(sum string) (map[int]nocsim.Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.plans[sum]
+	if !ok {
+		return nil, false
+	}
+	out := make(map[int]nocsim.Result, len(p.points))
+	for i, r := range p.points {
+		out[i] = r
+	}
+	return out, true
+}
+
+// Complete reports whether every point of the plan is stored, and the
+// plan's manifest. Rendering a plan's tables starts here.
+func (s *Store) Complete(sum string) (m *manifest.Manifest, done, total int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.plans[sum]
+	if !ok {
+		return nil, 0, 0, false
+	}
+	return p.m, len(p.points), p.m.NumPoints(), true
+}
+
+// ExportJournal writes the plan's points, sorted by index, in exactly
+// the manifest journal's line format — the byte-identical way back out
+// of the store: exporting a plan that was imported from a (serially
+// written) journal reproduces that journal byte for byte.
+func (s *Store) ExportJournal(w io.Writer, sum string) error {
+	s.mu.Lock()
+	p, ok := s.plans[sum]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("results: unknown plan %s", sum)
+	}
+	idx := make([]int, 0, len(p.points))
+	for i := range p.points {
+		idx = append(idx, i)
+	}
+	recs := make([]manifest.Record, 0, len(idx))
+	sort.Ints(idx)
+	for _, i := range idx {
+		recs = append(recs, manifest.Record{Index: i, Result: p.points[i]})
+	}
+	s.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for i := range recs {
+		data, err := json.Marshal(&recs[i])
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(data, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Sync flushes and fsyncs the file (writable stores only).
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly || s.f == nil {
+		return nil
+	}
+	if err := s.w.Flush(); err != nil {
+		return err
+	}
+	return s.f.Sync()
+}
+
+// Close flushes, fsyncs and closes the store. Closing twice (or closing
+// a read-only store) is a no-op, so shutdown paths can close defensively.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly || s.f == nil {
+		return nil
+	}
+	f := s.f
+	s.f = nil
+	if err := s.w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
