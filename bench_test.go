@@ -200,6 +200,34 @@ func benchFig10App(b *testing.B, name string) {
 
 func BenchmarkFig10_Multimedia(b *testing.B) { benchFig10App(b, "h264") }
 
+// BenchmarkAdaptiveSweep_Fig2 is the adaptive planner end to end: coarse
+// pass, refinement, merged render. Compare against
+// BenchmarkFixedSweep_Fig2 — the dense grid it replaces — for the
+// wall-clock and simulated-point saving (BENCH_8.json tracks both).
+func BenchmarkAdaptiveSweep_Fig2(b *testing.B) {
+	o := sweep.Options{Quick: true, Points: 3, Seed: 1}
+	var stats *sweep.AdaptiveStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, stats, err = sweep.GenerateAdaptive(context.Background(), "baseline", o, nil, false, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(stats.Total()), "points-simulated")
+}
+
+func BenchmarkFixedSweep_Fig2(b *testing.B) {
+	o := sweep.Options{Quick: true, Points: 9, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		_, complete, err := sweep.Generate(context.Background(), "baseline", o, nil, false, 0)
+		if err != nil || !complete {
+			b.Fatalf("fixed sweep: (complete=%v, %v)", complete, err)
+		}
+	}
+	b.ReportMetric(float64(o.Points*3), "points-simulated")
+}
+
 func BenchmarkPIConvergence(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {

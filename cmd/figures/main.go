@@ -23,6 +23,17 @@
 // a single-process run of the same options.
 //
 //	figures -fig 7 -quick -coordinator http://10.0.0.7:9090
+//
+// With -adaptive each manifest-backed figure runs as a two-phase
+// adaptive sweep: the planned grid becomes a coarse pass, a refinement
+// manifest is derived from its results (extra load samples where the
+// curves bend and around the saturation knee, at most -refine-budget
+// points), and the tables merge both passes onto one load axis. Works
+// with -manifest (the refinement is journaled and resumable like any
+// figure) and with -coordinator (the refinement is posted to the live
+// coordinator and drained by the same fleet, no restart).
+//
+//	figures -fig 2 -adaptive -refine-budget 12 -manifest runs/fig2
 package main
 
 import (
@@ -112,6 +123,7 @@ func main() {
 		coordinator = flag.String("coordinator", "", "compute through this nocsimd coordinator URL and reassemble tables from its journal")
 		authToken   = cli.AuthTokenFlag("bearer token for a -coordinator that runs with -auth-token")
 	)
+	adaptive, refineBudget := cli.RefineFlags()
 	flag.Parse()
 
 	if err := cli.CheckWorkers(*workers); err != nil {
@@ -119,6 +131,13 @@ func main() {
 	}
 	if *maxPoints < 0 {
 		log.Fatalf("-max-points must be >= 0 (got %d); 0 means no limit", *maxPoints)
+	}
+	if err := cli.CheckRefine(*adaptive, *refineBudget, cli.FlagWasSet("refine-budget"),
+		*manifestDir != "" || *coordinator != ""); err != nil {
+		log.Fatal(err)
+	}
+	if *adaptive && *maxPoints > 0 {
+		log.Fatal("-adaptive is exclusive with -max-points: refinement needs the whole coarse pass (interrupt and -resume instead)")
 	}
 
 	// The leaf budget is the process-wide cap on concurrently executing
@@ -173,16 +192,32 @@ func main() {
 	incomplete := 0
 	for _, fig := range run {
 		var ts []sweep.Table
+		var stats *sweep.AdaptiveStats
 		complete := true
-		if qc != nil {
+		switch {
+		case *adaptive && qc != nil:
+			log.Printf("running %s adaptively via coordinator %s...", fig, *coordinator)
+			ts, stats, err = sweep.GenerateRemoteAdaptive(ctx, fig, o, qc, *refineBudget)
+		case *adaptive:
+			log.Printf("running %s adaptively...", fig)
+			ts, stats, err = sweep.GenerateAdaptive(ctx, fig, o, store, *resume, *refineBudget)
+		case qc != nil:
 			log.Printf("running %s via coordinator %s...", fig, *coordinator)
 			ts, err = sweep.GenerateRemote(ctx, fig, o, qc)
-		} else {
+		default:
 			log.Printf("running %s...", fig)
 			ts, complete, err = sweep.Generate(ctx, fig, o, store, *resume, *maxPoints)
 		}
 		if err != nil {
 			log.Fatal(err)
+		}
+		if stats != nil {
+			if stats.ChildName == "" {
+				log.Printf("%s: adaptive run simulated %d points, refinement found nothing worth adding", fig, stats.Total())
+			} else {
+				log.Printf("%s: adaptive run simulated %d points (%d coarse + %d refined as %s)",
+					fig, stats.Total(), stats.CoarsePoints, stats.RefinedPoints, stats.ChildName)
+			}
 		}
 		if !complete {
 			incomplete++

@@ -23,6 +23,14 @@
 //
 //	resultsd -store runs/results.jsonl -import runs/dist
 //	resultsd -store runs/results.jsonl -export fig7 > fig7.points.jsonl
+//
+// -compact rewrites the store in place, dropping plans superseded by a
+// newer plan of the same name (adaptive refinement re-runs, re-planned
+// figures) and duplicate point lines; queries answer identically before
+// and after. Like -import it opens the store read-write, so it must not
+// run while a coordinator is ingesting or followers are serving:
+//
+//	resultsd -store runs/results.jsonl -compact
 package main
 
 import (
@@ -51,6 +59,7 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:9091", "serve: listen address")
 		storePath   = flag.String("store", "", "results store file (required)")
 		importDir   = flag.String("import", "", "backfill: ingest this manifest directory's journals into the store, then exit")
+		compact     = flag.Bool("compact", false, "rewrite the store dropping superseded plans and duplicate points, then exit")
 		exportRef   = flag.String("export", "", "write one plan (name or fingerprint) to stdout as points-journal lines, then exit")
 		coordinator = flag.String("coordinator", "", "serve: proxy this coordinator's /metrics for the live dashboard")
 		authToken   = cli.AuthTokenFlag("bearer token attached when proxying a -coordinator that runs with -auth-token")
@@ -62,8 +71,8 @@ func main() {
 	}
 	token := cli.AuthToken(*authToken)
 
-	if *importDir != "" || *exportRef != "" {
-		if err := oneShot(*storePath, *importDir, *exportRef); err != nil {
+	if *importDir != "" || *compact || *exportRef != "" {
+		if err := oneShot(*storePath, *importDir, *compact, *exportRef); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -76,10 +85,11 @@ func main() {
 	}
 }
 
-// oneShot runs the import and/or export modes: the only paths that open
-// the store read-write, so they must not run against a store a live
-// coordinator is ingesting into.
-func oneShot(storePath, importDir, exportRef string) error {
+// oneShot runs the import, compact and/or export maintenance modes
+// (in that order: ingest first, shrink what it superseded, then read
+// out). Import and compact open the store read-write, so they must not
+// run against a store a live coordinator is ingesting into.
+func oneShot(storePath, importDir string, compact bool, exportRef string) error {
 	if importDir != "" {
 		st, err := manifest.NewDirStore(importDir)
 		if err != nil {
@@ -98,6 +108,21 @@ func oneShot(storePath, importDir, exportRef string) error {
 			return err
 		}
 		log.Printf("imported %s: %d manifest(s), %d new point(s) into %s", importDir, plans, points, storePath)
+	}
+	if compact {
+		s, err := results.Open(storePath)
+		if err != nil {
+			return err
+		}
+		plans, points, err := s.Compact()
+		if err != nil {
+			s.Close()
+			return err
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+		log.Printf("compacted %s: dropped %d superseded plan(s), %d dead point line(s)", storePath, plans, points)
 	}
 	if exportRef != "" {
 		s, err := results.OpenReadOnly(storePath)

@@ -95,6 +95,33 @@
 // mid-run and an unauthenticated worker rejected. See README.md for the
 // quickstart.
 //
+// # Adaptive sweeps
+//
+// Fixed grids spend most of their points on flat curve regions, while
+// the claims live at the saturation knee and the policy crossovers.
+// With -adaptive, cmd/figures and cmd/report run each figure as a
+// two-phase plan (internal/sweep): the planned grid is the coarse
+// pass; sweep.Refine scores every load interval by delay gradient,
+// curvature and proximity to the measured knee and emits the winning
+// midpoints — bounded by -refine-budget — as a child manifest whose
+// name derives from the parent plan's fingerprint
+// ("<fig>-refine-<sum>"). Because the child is an ordinary
+// resolved-grid manifest, the journal, the coordinator, the workers
+// and the results store execute it unchanged, and sweep.MergeRefined
+// renders both passes as one monotone load axis. Refinement is
+// deterministic: identical coarse results yield a byte-identical child
+// manifest (golden-tested), so resumed runs reuse its journal and a
+// re-posted refinement converges instead of conflicting.
+//
+// Distributed, the adaptive client registers the refinement name
+// before the coarse pass completes (POST /v1/expect/<name>): a
+// coordinator running -exit-when-done and its unscoped workers then
+// stay attached through the gap between the coarse pass draining and
+// the follow-on manifest arriving (POST /v1/manifest), and a
+// refinement that finds nothing withdraws the expectation. The
+// acceptance test reproduces the Fig. 2 sweep inside the paper's claim
+// bands from a third of the fixed grid's simulated points.
+//
 // # Results service
 //
 // Beyond per-run journals, package nocsim/results is a persistent
@@ -109,7 +136,10 @@
 // Renders are memoized keyed by the manifest plan fingerprint
 // (manifest.Sum) — identical plans share one render, any changed
 // planning knob misses — and -export writes a plan's journal lines back
-// out byte-identically. The daemons shut down gracefully on
+// out byte-identically. resultsd -compact rewrites the store in place,
+// dropping plans superseded by a newer same-name plan (re-planned or
+// re-refined figures) and duplicate point lines; every query answers
+// identically before and after. The daemons shut down gracefully on
 // SIGINT/SIGTERM: quiesce leases, drain in-flight posts, flush and
 // fsync journals and store.
 //

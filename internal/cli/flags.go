@@ -35,6 +35,50 @@ func AuthTokenFlag(usage string) *string {
 	return flag.String("auth-token", "", usage+" (default $NOCSIM_TOKEN)")
 }
 
+// RefineFlags registers the adaptive-sweep flags shared by figures and
+// report: -adaptive turns on the two-phase planner (coarse pass, refine
+// where the curves bend, merged render) and -refine-budget caps how many
+// extra simulation points the refinement pass may spend. Validate the
+// parsed combination with CheckRefine after flag.Parse.
+func RefineFlags() (adaptive *bool, budget *int) {
+	adaptive = flag.Bool("adaptive", false, "two-phase adaptive sweep: coarse pass, then refine where the curves bend")
+	budget = flag.Int("refine-budget", 16, "with -adaptive: max extra simulation points the refinement pass may add")
+	return adaptive, budget
+}
+
+// FlagWasSet reports whether the named flag was passed explicitly on the
+// command line (flag.Visit only walks set flags). Call after flag.Parse.
+func FlagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// CheckRefine rejects meaningless adaptive flag combinations with the
+// shared wording. persistent says whether the run has somewhere durable
+// to put the coarse pass and its refinement (-manifest or -coordinator);
+// without one the refinement manifest would be computed and thrown away,
+// unresumable and invisible to the results store.
+func CheckRefine(adaptive bool, budget int, budgetSet, persistent bool) error {
+	if !adaptive {
+		if budgetSet {
+			return fmt.Errorf("-refine-budget needs -adaptive (the budget only bounds the refinement pass)")
+		}
+		return nil
+	}
+	if budget <= 0 {
+		return fmt.Errorf("-refine-budget must be positive with -adaptive (got %d)", budget)
+	}
+	if !persistent {
+		return fmt.Errorf("-adaptive needs a journal for the coarse pass: pass -manifest DIR or -coordinator URL")
+	}
+	return nil
+}
+
 // AuthToken resolves the parsed -auth-token value after flag.Parse: the
 // flag when set, else $NOCSIM_TOKEN. An explicitly passed
 // -auth-token "" disables auth even with the env var exported — the

@@ -1,0 +1,54 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCheckWorkers(t *testing.T) {
+	if err := CheckWorkers(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWorkers(0); err == nil {
+		t.Fatal("0 workers accepted")
+	}
+	if err := CheckWorkers(-3); err == nil {
+		t.Fatal("negative workers accepted")
+	}
+}
+
+func TestCheckRefine(t *testing.T) {
+	cases := []struct {
+		name                  string
+		adaptive              bool
+		budget                int
+		budgetSet, persistent bool
+		wantErr               string
+	}{
+		{name: "off", budget: 16},
+		{name: "budget without adaptive", budget: 8, budgetSet: true,
+			wantErr: "-refine-budget needs -adaptive"},
+		{name: "adaptive with manifest", adaptive: true, budget: 16, persistent: true},
+		{name: "adaptive explicit budget", adaptive: true, budget: 4, budgetSet: true, persistent: true},
+		{name: "adaptive without journal", adaptive: true, budget: 16,
+			wantErr: "pass -manifest DIR or -coordinator URL"},
+		{name: "zero budget", adaptive: true, budget: 0, budgetSet: true, persistent: true,
+			wantErr: "must be positive"},
+		{name: "negative budget", adaptive: true, budget: -2, budgetSet: true, persistent: true,
+			wantErr: "must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := CheckRefine(tc.adaptive, tc.budget, tc.budgetSet, tc.persistent)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error = %v, want one containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

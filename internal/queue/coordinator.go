@@ -66,6 +66,7 @@ type Coordinator struct {
 	jobs     map[string]*job // keyed by manifest name
 	sealed   bool            // no more Adds coming (see Seal)
 	quiesced bool            // draining for shutdown: no new leases (see Quiesce)
+	expected map[string]bool // follow-on manifests promised but not yet added (see Expect)
 	met      metricsState
 }
 
@@ -123,8 +124,9 @@ func New(cfg Config) *Coordinator {
 		cfg.Clock = time.Now
 	}
 	return &Coordinator{
-		cfg:  cfg,
-		jobs: map[string]*job{},
+		cfg:      cfg,
+		jobs:     map[string]*job{},
+		expected: map[string]bool{},
 		met: metricsState{
 			rate:    rateWindow{window: rateWindowSize},
 			workers: map[string]*workerStats{},
@@ -148,6 +150,14 @@ func (c *Coordinator) Add(m *manifest.Manifest, have map[int]nocsim.Result) erro
 	if err != nil {
 		return err
 	}
+	return c.registerLocked(m, sum, have)
+}
+
+// registerLocked is the shared registration body behind Add and
+// AddFollowOn: mirror the plan (and any resumed points) into the results
+// store, build the job, and open its journal. Callers hold c.mu and have
+// already verified the name is free.
+func (c *Coordinator) registerLocked(m *manifest.Manifest, sum string, have map[int]nocsim.Result) error {
 	if c.cfg.Results != nil {
 		// Register the plan and backfill the resumed points, so the store
 		// is complete even when it was attached after the journal already
@@ -182,6 +192,92 @@ func (c *Coordinator) Add(m *manifest.Manifest, have map[int]nocsim.Result) erro
 	}
 	c.jobs[m.Name] = j
 	c.names = append(c.names, m.Name)
+	return nil
+}
+
+// Expect promises that a follow-on manifest with the given name will be
+// added later — typically an adaptive client registering its refinement
+// pass before the coarse results that determine it exist. While any
+// expectation is outstanding, unscoped workers are told to wait instead
+// of "done" (even after Seal) and Complete reports false, so a fleet
+// never drains away between a coarse pass finishing and its refinement
+// arriving. The expectation is cleared by AddFollowOn of that name, or
+// by Unexpect when the refinement turns out to be empty.
+func (c *Coordinator) Expect(name string) error {
+	if name == "" {
+		return fmt.Errorf("queue: expectation needs a manifest name")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.jobs[name]; ok {
+		return nil // already registered: nothing left to expect
+	}
+	c.expected[name] = true
+	return nil
+}
+
+// Unexpect withdraws an expectation registered with Expect — the
+// adaptive client's way of saying "no refinement after all". Unknown
+// names are a no-op so error-path cleanup can call it unconditionally.
+func (c *Coordinator) Unexpect(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.expected, name)
+}
+
+// AddFollowOn registers a manifest appended to a live (possibly sealed)
+// plan — the refinement pass of an adaptive sweep. Unlike Add it is
+// idempotent: re-adding a manifest already registered under the same
+// plan fingerprint succeeds silently (two adaptive clients refining the
+// same coarse results compute byte-identical children), while the same
+// name under a different fingerprint is refused — that can only be a
+// stale child derived from an earlier parent plan. With a store
+// configured the manifest is persisted (or, when an identical plan is
+// already on disk, its journaled points resumed) before registration,
+// exactly like the serve path does for its initial manifests. Any
+// expectation registered for the name is cleared.
+func (c *Coordinator) AddFollowOn(m *manifest.Manifest) error {
+	sum, err := manifest.Sum(m)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[m.Name]; ok {
+		if j.sum != sum {
+			return fmt.Errorf("queue: follow-on manifest %q already registered with plan %s (got %s): stale refinement of an earlier parent", m.Name, j.sum, sum)
+		}
+		delete(c.expected, m.Name)
+		return nil
+	}
+	var have map[int]nocsim.Result
+	if c.cfg.Store != nil {
+		stored, err := c.cfg.Store.LoadManifest(m.Name)
+		if err != nil {
+			return err
+		}
+		storedSum := ""
+		if stored != nil {
+			if storedSum, err = manifest.Sum(stored); err != nil {
+				return err
+			}
+		}
+		if storedSum == sum {
+			// The same refinement was journaled by an earlier run (a
+			// restarted coordinator, a previous adaptive client): resume
+			// its completed points instead of recomputing them.
+			if have, err = c.cfg.Store.LoadPoints(m.Name); err != nil {
+				return err
+			}
+		} else if err := c.cfg.Store.SaveManifest(m); err != nil {
+			return err
+		}
+	}
+	if err := c.registerLocked(m, sum, have); err != nil {
+		return err
+	}
+	delete(c.expected, m.Name)
+	c.met.followOnTotal++
 	return nil
 }
 
@@ -295,10 +391,12 @@ func (c *Coordinator) Lease(req LeaseRequest) (LeaseResponse, error) {
 	}
 	if complete {
 		// An unscoped "done" is only trustworthy once registration is
-		// sealed: while the serve loop is still planning later manifests,
+		// sealed AND no follow-on manifest is still expected: while the
+		// serve loop is planning later manifests, or an adaptive client
+		// has promised a refinement pass it hasn't posted yet,
 		// "everything registered so far is complete" must read as "wait
 		// for more work", or attached workers drain away early.
-		if req.Name == "" && !c.sealed {
+		if req.Name == "" && (!c.sealed || len(c.expected) > 0) {
 			return LeaseResponse{Status: StatusWait}, nil
 		}
 		return LeaseResponse{Status: StatusDone}, nil
@@ -459,10 +557,16 @@ func (c *Coordinator) Status(name string) (Status, bool) {
 	}, true
 }
 
-// Complete reports whether every registered manifest is fully computed.
+// Complete reports whether every registered manifest is fully computed
+// and no promised follow-on manifest is still outstanding — so a serve
+// loop's -exit-when-done cannot fire between a coarse pass finishing and
+// its refinement arriving.
 func (c *Coordinator) Complete() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if len(c.expected) > 0 {
+		return false
+	}
 	for _, j := range c.jobs {
 		if len(j.done) < j.total {
 			return false
@@ -473,13 +577,16 @@ func (c *Coordinator) Complete() bool {
 
 // Handler returns the coordinator's HTTP API:
 //
-//	GET  /v1/manifests        -> {"names": [...]}
-//	GET  /v1/manifest/{name}  -> the manifest JSON
-//	POST /v1/lease            -> LeaseRequest -> LeaseResponse
-//	POST /v1/result           -> ResultRequest -> 204
-//	GET  /v1/points/{name}    -> sorted [{index, result}, ...]
-//	GET  /v1/status/{name}    -> Status
-//	GET  /metrics             -> Prometheus text format (see metrics.go)
+//	GET  /v1/manifests           -> {"names": [...]}
+//	GET  /v1/manifest/{name}     -> the manifest JSON
+//	POST /v1/manifest            -> manifest JSON -> 204 (AddFollowOn)
+//	POST /v1/expect/{name}       -> 204 (Expect a follow-on manifest)
+//	DELETE /v1/expect/{name}     -> 204 (Unexpect)
+//	POST /v1/lease               -> LeaseRequest -> LeaseResponse
+//	POST /v1/result              -> ResultRequest -> 204
+//	GET  /v1/points/{name}       -> sorted [{index, result}, ...]
+//	GET  /v1/status/{name}       -> Status
+//	GET  /metrics                -> Prometheus text format (see metrics.go)
 //
 // With Config.AuthToken set, every route — /metrics included — demands
 // "Authorization: Bearer <token>" and answers 401 otherwise.
@@ -497,6 +604,37 @@ func (c *Coordinator) Handler() http.Handler {
 			return
 		}
 		writeJSON(w, m)
+	})
+	mux.HandleFunc("POST /v1/manifest", func(w http.ResponseWriter, r *http.Request) {
+		var m manifest.Manifest
+		// A manifest is small (panels of grids); 16 MiB is far beyond any
+		// real plan and keeps a hostile peer from streaming gigabytes.
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&m); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if m.Name == "" {
+			http.Error(w, "manifest without a name", http.StatusBadRequest)
+			return
+		}
+		if err := c.AddFollowOn(&m); err != nil {
+			// The only registration-time refusal is a name collision under
+			// a different plan fingerprint: a conflict, not a server fault.
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/expect/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if err := c.Expect(r.PathValue("name")); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("DELETE /v1/expect/{name}", func(w http.ResponseWriter, r *http.Request) {
+		c.Unexpect(r.PathValue("name"))
+		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
 		var req LeaseRequest

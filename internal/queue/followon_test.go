@@ -1,0 +1,204 @@
+package queue
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/nocsim/manifest"
+	"repro/nocsim/results"
+)
+
+// postAll posts fake results for every point of the named manifest.
+func postAll(t *testing.T, c *Coordinator, m *manifest.Manifest) {
+	t.Helper()
+	for i := 0; i < m.NumPoints(); i++ {
+		if err := c.PostResult(ResultRequest{Worker: "w", Name: m.Name, Index: i, Result: fakeResult(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFollowOnKeepsWorkersAttached is the adaptive-sweep fleet contract:
+// an expectation registered before the coarse pass completes keeps
+// unscoped workers (and Complete, i.e. -exit-when-done) from declaring
+// the run over, the follow-on manifest is drained by the same workers
+// with no restart, and only then does the coordinator report done.
+func TestFollowOnKeepsWorkersAttached(t *testing.T) {
+	c := New(Config{})
+	parent := testManifest(t, "x", 2)
+	if err := c.Add(parent, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+
+	child := testManifest(t, "x-refine-abc", 1)
+	if err := c.Expect(child.Name); err != nil {
+		t.Fatal(err)
+	}
+	postAll(t, c, parent)
+
+	// Sealed and every registered manifest complete — but a follow-on is
+	// promised, so nobody gets told "done".
+	if ls, err := c.Lease(LeaseRequest{Worker: "w"}); err != nil || ls.Status != StatusWait {
+		t.Fatalf("unscoped lease with an outstanding expectation = (%+v, %v), want wait", ls, err)
+	}
+	if c.Complete() {
+		t.Fatal("Complete() true with an outstanding expectation")
+	}
+	// A lease scoped to the complete parent still reads done: its own
+	// completion is its own answer.
+	if ls, err := c.Lease(LeaseRequest{Worker: "w", Name: "x"}); err != nil || ls.Status != StatusDone {
+		t.Fatalf("scoped lease of the complete parent = (%+v, %v), want done", ls, err)
+	}
+
+	if err := c.AddFollowOn(child); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := c.Lease(LeaseRequest{Worker: "w"})
+	if err != nil || ls.Status != StatusLease || ls.Name != child.Name {
+		t.Fatalf("unscoped lease after follow-on = (%+v, %v), want a %s point", ls, err, child.Name)
+	}
+	postAll(t, c, child)
+	if ls, err := c.Lease(LeaseRequest{Worker: "w"}); err != nil || ls.Status != StatusDone {
+		t.Fatalf("unscoped lease after draining the follow-on = (%+v, %v), want done", ls, err)
+	}
+	if !c.Complete() {
+		t.Fatal("Complete() false after the follow-on drained")
+	}
+}
+
+// TestExpectWithdrawnReleasesWorkers covers the empty-refinement path:
+// withdrawing the expectation lets the fleet drain normally.
+func TestExpectWithdrawnReleasesWorkers(t *testing.T) {
+	c := New(Config{})
+	parent := testManifest(t, "x", 1)
+	if err := c.Add(parent, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+	if err := c.Expect("x-refine-abc"); err != nil {
+		t.Fatal(err)
+	}
+	postAll(t, c, parent)
+	if ls, _ := c.Lease(LeaseRequest{Worker: "w"}); ls.Status != StatusWait {
+		t.Fatalf("lease = %+v, want wait while expected", ls)
+	}
+	c.Unexpect("x-refine-abc")
+	if ls, err := c.Lease(LeaseRequest{Worker: "w"}); err != nil || ls.Status != StatusDone {
+		t.Fatalf("lease after Unexpect = (%+v, %v), want done", ls, err)
+	}
+	if err := c.Expect(""); err == nil {
+		t.Fatal("empty expectation name accepted")
+	}
+}
+
+// TestFollowOnIdempotentAndConflict pins AddFollowOn's identity rules:
+// the same plan twice converges, the same name under a different plan
+// fingerprint — a stale refinement — is refused, over HTTP as a 409.
+func TestFollowOnIdempotentAndConflict(t *testing.T) {
+	c := New(Config{})
+	if err := c.Add(testManifest(t, "x", 1), nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+	child := testManifest(t, "x-refine-abc", 1)
+	if err := c.AddFollowOn(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddFollowOn(child); err != nil {
+		t.Fatalf("re-adding an identical follow-on: %v", err)
+	}
+	if got := len(c.Names()); got != 2 {
+		t.Fatalf("%d manifests registered, want 2", got)
+	}
+	stale := testManifest(t, "x-refine-abc", 2) // same name, different plan
+	if err := c.AddFollowOn(stale); err == nil {
+		t.Fatal("stale follow-on (same name, different sum) accepted")
+	}
+
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+	client := &Client{Base: srv.URL}
+	ctx := context.Background()
+	if err := client.AddManifest(ctx, child); err != nil {
+		t.Fatalf("idempotent re-post over HTTP: %v", err)
+	}
+	err := client.AddManifest(ctx, stale)
+	if err == nil || !strings.Contains(err.Error(), "409") {
+		t.Fatalf("stale follow-on over HTTP: %v, want a 409 conflict", err)
+	}
+	if err := client.Expect(ctx, child.Name); err != nil {
+		t.Fatalf("Expect of a registered manifest: %v", err)
+	}
+	if err := client.Unexpect(ctx, child.Name); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowOnJournalAndResume proves a follow-on manifest runs through
+// the persistence machinery unchanged: it is saved to the manifest
+// store, its accepted points are journaled and mirrored into the
+// results store, and a restarted coordinator re-adding the same
+// follow-on resumes the journaled points instead of recomputing them.
+func TestFollowOnJournalAndResume(t *testing.T) {
+	dir := t.TempDir()
+	st, err := manifest.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := results.Open(dir + "/results.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+
+	parent := testManifest(t, "x", 1)
+	if err := st.SaveManifest(parent); err != nil {
+		t.Fatal(err)
+	}
+	c := New(Config{Store: st, Results: rs})
+	if err := c.Add(parent, nil); err != nil {
+		t.Fatal(err)
+	}
+	c.Seal()
+
+	child := testManifest(t, "x-refine-abc", 2)
+	if err := c.AddFollowOn(child); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := st.LoadManifest(child.Name)
+	if err != nil || stored == nil {
+		t.Fatalf("follow-on manifest not persisted: (%v, %v)", stored, err)
+	}
+	postAll(t, c, child)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(journalLines(t, st, child.Name)); got != 2 {
+		t.Fatalf("%d journal lines for the follow-on, want 2", got)
+	}
+	childSum, err := manifest.Sum(child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts, ok := rs.PointsOf(childSum); !ok || len(pts) != 2 {
+		t.Fatalf("results store holds %d follow-on points (ok=%v), want 2", len(pts), ok)
+	}
+
+	// "Restart": a fresh coordinator over the same store resumes the
+	// follow-on's journaled points.
+	c2 := New(Config{Store: st, Results: rs})
+	if err := c2.Add(parent, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AddFollowOn(child); err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	stat, ok := c2.Status(child.Name)
+	if !ok || stat.Done != 2 {
+		t.Fatalf("resumed follow-on status = (%+v, %v), want 2 points done", stat, ok)
+	}
+}

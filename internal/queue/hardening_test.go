@@ -43,6 +43,9 @@ func TestAuthRejectsEveryRoute(t *testing.T) {
 	}{
 		{http.MethodGet, "/v1/manifests", ""},
 		{http.MethodGet, "/v1/manifest/x", ""},
+		{http.MethodPost, "/v1/manifest", `{"name":"y","points":1,"seed":1,"panels":[]}`},
+		{http.MethodPost, "/v1/expect/y", ""},
+		{http.MethodDelete, "/v1/expect/y", ""},
 		{http.MethodPost, "/v1/lease", `{"worker":"w"}`},
 		{http.MethodPost, "/v1/result", `{"worker":"w","name":"x","index":0,"result":{}}`},
 		{http.MethodGet, "/v1/points/x", ""},

@@ -1,0 +1,234 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/queue"
+	"repro/nocsim"
+	"repro/nocsim/manifest"
+)
+
+// AdaptiveStats reports what an adaptive run actually simulated, so the
+// CLI can print the budget arithmetic ("18 coarse + 6 refined vs 54
+// fixed") and the acceptance tests can assert the ≥3× saving.
+type AdaptiveStats struct {
+	Fig           string
+	CoarsePoints  int    // points simulated by the coarse pass
+	RefinedPoints int    // points simulated by the refinement pass (0 when none was worth running)
+	ChildName     string // refinement manifest name ("" when none was emitted)
+}
+
+// Total is the number of points the adaptive run simulated.
+func (s *AdaptiveStats) Total() int { return s.CoarsePoints + s.RefinedPoints }
+
+// runManifest runs every missing point of m to completion, journaling
+// each accepted point when st is non-nil. Unlike Generate it has no
+// point limit: the adaptive flow needs the full pass before it can
+// refine or merge.
+func runManifest(ctx context.Context, m *manifest.Manifest, o Options, st *manifest.DirStore, have map[int]nocsim.Result) ([]nocsim.Result, error) {
+	var save func(int, nocsim.Result) error
+	if st != nil {
+		j, err := st.Journal(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		save = j.Append
+	}
+	results, complete, err := manifest.Run(ctx, m, o.Workers, have, save, 0)
+	if err != nil {
+		return nil, err
+	}
+	if !complete {
+		return nil, fmt.Errorf("sweep: %s did not run to completion", m.Name)
+	}
+	return results, nil
+}
+
+// GenerateAdaptive produces one figure's tables with the two-phase
+// adaptive planner: run the figure's (coarse) manifest, estimate where
+// the curves bend (Refine), run the resulting child manifest — at most
+// budget extra points — and render the merged load axis. When the
+// coarse pass is already smooth enough that nothing clears the
+// refinement threshold, the output is byte-identical to Generate.
+//
+// The child manifest goes through the same store machinery as any
+// figure: it is persisted before running, its points are journaled as
+// they complete, and with resume a stored child planned from the same
+// coarse results picks up its journaled points.
+func GenerateAdaptive(ctx context.Context, fig string, o Options, st *manifest.DirStore, resume bool, budget int) ([]Table, *AdaptiveStats, error) {
+	o.setDefaults()
+	m, have, err := PlanOrResume(ctx, fig, o, st, resume)
+	if err != nil {
+		return nil, nil, err
+	}
+	results, err := runManifest(ctx, m, o, st, have)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &AdaptiveStats{Fig: fig, CoarsePoints: m.NumPoints()}
+
+	child, err := Refine(m, results, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	if child == nil {
+		tables, err := Render(m, results)
+		return tables, stats, err
+	}
+	stats.ChildName = child.Name
+	stats.RefinedPoints = child.NumPoints()
+
+	childHave := map[int]nocsim.Result{}
+	if st != nil {
+		// Reuse a stored child's journal only when it was refined from the
+		// same coarse plan (same name ⇒ same parent sum) AND carries the
+		// same point grid; anything else is a stale refinement whose points
+		// must not leak into this run. SaveManifest truncates them.
+		stored, err := st.LoadManifest(child.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		same := false
+		if stored != nil {
+			ssum, err := manifest.Sum(stored)
+			if err != nil {
+				return nil, nil, err
+			}
+			csum, err := manifest.Sum(child)
+			if err != nil {
+				return nil, nil, err
+			}
+			same = ssum == csum
+		}
+		if same && resume {
+			if childHave, err = st.LoadPoints(child.Name); err != nil {
+				return nil, nil, err
+			}
+		} else if err := st.SaveManifest(child); err != nil {
+			return nil, nil, err
+		}
+	}
+	childResults, err := runManifest(ctx, child, o, st, childHave)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	merged, mergedResults, err := MergeRefined(m, results, child, childResults)
+	if err != nil {
+		return nil, nil, err
+	}
+	tables, err := Render(merged, mergedResults)
+	return tables, stats, err
+}
+
+// fetchDense pulls a manifest's completed points from the coordinator
+// and lays them out as the dense slice Render and Refine expect.
+func fetchDense(ctx context.Context, c *queue.Client, m *manifest.Manifest) ([]nocsim.Result, error) {
+	have, err := c.Points(ctx, m.Name)
+	if err != nil {
+		return nil, err
+	}
+	n := m.NumPoints()
+	results := make([]nocsim.Result, n)
+	for i := 0; i < n; i++ {
+		r, ok := have[i]
+		if !ok {
+			return nil, fmt.Errorf("sweep: coordinator reported %s done but point %d is missing", m.Name, i)
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+// GenerateRemoteAdaptive is GenerateAdaptive through a queue
+// coordinator: the coarse pass and the refinement pass both run on the
+// coordinator's fleet, with this client joining as one more worker.
+//
+// The refinement manifest's name is known before the coarse pass
+// finishes (it derives from the parent plan alone), so the client
+// registers it as an expectation up front — a coordinator running with
+// -exit-when-done then keeps its fleet attached through the gap between
+// the coarse pass draining and the refinement being posted. The
+// expectation is withdrawn if refinement finds nothing (or this client
+// fails), releasing the fleet.
+func GenerateRemoteAdaptive(ctx context.Context, fig string, o Options, c *queue.Client, budget int) ([]Table, *AdaptiveStats, error) {
+	o.setDefaults()
+	m, err := c.WaitManifest(ctx, fig, remoteWait)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.Quick != o.Quick || m.Points != o.Points || m.Seed != o.Seed {
+		return nil, nil, fmt.Errorf("sweep: coordinator's %s manifest was planned with quick=%v points=%d seed=%d; re-run with those options",
+			fig, m.Quick, m.Points, m.Seed)
+	}
+	childName, err := RefineName(m)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := c.Expect(ctx, childName); err != nil {
+		return nil, nil, err
+	}
+	expectCleared := false
+	defer func() {
+		if expectCleared {
+			return
+		}
+		// Best effort, on a fresh context: the surrounding ctx may be the
+		// very cancellation that aborted us, and a stranded expectation
+		// would hold an -exit-when-done fleet open forever.
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = c.Unexpect(cctx, childName)
+	}()
+
+	w := &queue.Worker{Client: c, Workers: o.Workers, Name: fig}
+	if err := w.Run(ctx); err != nil {
+		return nil, nil, err
+	}
+	results, err := fetchDense(ctx, c, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &AdaptiveStats{Fig: fig, CoarsePoints: m.NumPoints()}
+
+	child, err := Refine(m, results, budget)
+	if err != nil {
+		return nil, nil, err
+	}
+	if child == nil {
+		if err := c.Unexpect(ctx, childName); err != nil {
+			return nil, nil, err
+		}
+		expectCleared = true
+		tables, err := Render(m, results)
+		return tables, stats, err
+	}
+	stats.ChildName = child.Name
+	stats.RefinedPoints = child.NumPoints()
+
+	// Posting the manifest clears the expectation server-side; a repost of
+	// the identical plan (say, after a client restart) is a no-op.
+	if err := c.AddManifest(ctx, child); err != nil {
+		return nil, nil, err
+	}
+	expectCleared = true
+
+	w = &queue.Worker{Client: c, Workers: o.Workers, Name: child.Name}
+	if err := w.Run(ctx); err != nil {
+		return nil, nil, err
+	}
+	childResults, err := fetchDense(ctx, c, child)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	merged, mergedResults, err := MergeRefined(m, results, child, childResults)
+	if err != nil {
+		return nil, nil, err
+	}
+	tables, err := Render(merged, mergedResults)
+	return tables, stats, err
+}

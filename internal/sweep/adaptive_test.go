@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/queue"
+	"repro/nocsim/manifest"
+)
+
+// formatAll renders tables to one byte stream for equality checks.
+func formatAll(t *testing.T, tables []Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for i := range tables {
+		if err := tables[i].Format(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestGenerateAdaptiveLocal runs the whole two-phase flow against a real
+// (quick) simulation: coarse pass, refinement, merged render — then the
+// same run again with -resume, which must replay entirely from the
+// journals and render byte-identical tables.
+func TestGenerateAdaptiveLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	dir := t.TempDir()
+	st, err := manifest.NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Quick: true, Points: 3, Seed: 1}
+	ctx := context.Background()
+
+	tables, stats, err := GenerateAdaptive(ctx, "baseline", o, st, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) == 0 {
+		t.Fatal("no tables rendered")
+	}
+	if stats.CoarsePoints != 9 { // 3 loads x 3 policies
+		t.Fatalf("coarse points = %d, want 9", stats.CoarsePoints)
+	}
+	if stats.RefinedPoints > 6 {
+		t.Fatalf("refinement spent %d points, budget was 6", stats.RefinedPoints)
+	}
+	if stats.ChildName != "" {
+		if m, err := st.LoadManifest(stats.ChildName); err != nil || m == nil {
+			t.Fatalf("child manifest %q not persisted: (%v, %v)", stats.ChildName, m, err)
+		}
+	}
+
+	again, stats2, err := GenerateAdaptive(ctx, "baseline", o, st, true, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.ChildName != stats.ChildName || stats2.Total() != stats.Total() {
+		t.Fatalf("resumed stats %+v differ from first run %+v", stats2, stats)
+	}
+	if !bytes.Equal(formatAll(t, tables), formatAll(t, again)) {
+		t.Fatal("resumed adaptive run rendered different tables")
+	}
+}
+
+// TestAdaptiveRemoteFollowOn proves the remote flow matches the local
+// one byte for byte: the client registers the refinement expectation,
+// drains the coarse pass, posts the follow-on manifest to the live
+// coordinator, drains it, and renders exactly what GenerateAdaptive
+// renders in-process.
+func TestAdaptiveRemoteFollowOn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	o := Options{Quick: true, Points: 2, Seed: 1}
+	ctx := context.Background()
+
+	local, localStats, err := GenerateAdaptive(ctx, "baseline", o, nil, false, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := queue.New(queue.Config{})
+	m, _, err := PlanOrResume(ctx, "baseline", o, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Add(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	coord.Seal()
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	remote, remoteStats, err := GenerateRemoteAdaptive(ctx, "baseline", o, &queue.Client{Base: srv.URL}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteStats.ChildName != localStats.ChildName || remoteStats.Total() != localStats.Total() {
+		t.Fatalf("remote stats %+v differ from local %+v", remoteStats, localStats)
+	}
+	if !bytes.Equal(formatAll(t, local), formatAll(t, remote)) {
+		t.Fatal("remote adaptive tables differ from local")
+	}
+	// No expectation may be left behind: a fleet running -exit-when-done
+	// must see the run as complete.
+	if !coord.Complete() {
+		t.Fatal("coordinator not complete after the adaptive run")
+	}
+}

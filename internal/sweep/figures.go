@@ -382,6 +382,15 @@ func calNote(cal nocsim.Calibration) string {
 		cal.SaturationRate, cal.LambdaMax, cal.TargetDelayNs)
 }
 
+// kneeNote annotates a delay table with the measured saturation knee of
+// its No-DVFS curve (see Knee). The fixed %.4f formatting is load-bearing:
+// CI's adaptive smoke extracts the value from a fixed-grid run and an
+// adaptive run and asserts they agree within one coarse grid step.
+func kneeNote(loads, delays []float64) string {
+	load, _ := Knee(loads, delays)
+	return fmt.Sprintf("saturation knee: rate %.4f (first load with nodvfs delay >= 2x the lowest-load delay)", load)
+}
+
 // Fig2 renders Fig. 2: No-DVFS vs RMSD latency in cycles (a) and delay in
 // ns (b) against injection rate, exposing the non-monotonic RMSD delay.
 func Fig2(b *Bundle) []Table { return renderFig2(b.Manifest, b.Results) }
@@ -404,10 +413,13 @@ func renderFig2(m *manifest.Manifest, results []nocsim.Result) []Table {
 	}
 	cs := curves(g, results)
 	no, rm := cs[0], cs[1]
+	noDelays := make([]float64, len(g.Loads))
 	for i, load := range g.Loads {
 		lat.AddRow(load, no[i].AvgLatencyCycles, rm[i].AvgLatencyCycles)
 		del.AddRow(load, no[i].AvgDelayNs, rm[i].AvgDelayNs)
+		noDelays[i] = no[i].AvgDelayNs
 	}
+	del.Notes = append(del.Notes, kneeNote(g.Loads, noDelays))
 	return []Table{lat, del}
 }
 
@@ -567,10 +579,13 @@ func comparisonTables(figID, label string, g nocsim.Grid, results []nocsim.Resul
 	}
 	cs := curves(g, results)
 	no, rm, dm := cs[0], cs[1], cs[2]
+	noDelays := make([]float64, len(g.Loads))
 	for i, load := range g.Loads {
 		del.AddRow(load, no[i].AvgDelayNs, rm[i].AvgDelayNs, dm[i].AvgDelayNs)
 		pow.AddRow(load, no[i].AvgPowerMW, rm[i].AvgPowerMW, dm[i].AvgPowerMW)
+		noDelays[i] = no[i].AvgDelayNs
 	}
+	del.Notes = append(del.Notes, kneeNote(g.Loads, noDelays))
 	if mid := len(g.Loads) / 2; mid < len(g.Loads) {
 		del.Notes = append(del.Notes, fmt.Sprintf("delay ratio RMSD/DMSD at load %.3g: %.2fx",
 			g.Loads[mid], ratio(rm[mid].AvgDelayNs, dm[mid].AvgDelayNs)))

@@ -402,6 +402,172 @@ func (s *Store) ExportJournal(w io.Writer, sum string) error {
 	return bw.Flush()
 }
 
+// Compact rewrites the store file down to its live contents: for every
+// manifest name only the most recently ingested plan survives (older
+// same-name plans are superseded — Resolve already ignores them), and
+// every surviving plan is written as one manifest record followed by its
+// points in index order, which drops duplicate point lines the index
+// collapsed on ingest. Queries and ExportJournal answer identically
+// before and after; only dead bytes leave the file.
+//
+// Compact requires the writable store and must not run while read-only
+// followers are attached: the rewrite replaces the file they are
+// tailing, and their saved offsets would point into the old bytes. Run
+// it from the one-shot maintenance mode (resultsd -compact), like
+// imports.
+func (s *Store) Compact() (droppedPlans, droppedPoints int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.readOnly {
+		return 0, 0, errors.New("results: store is read-only")
+	}
+	if s.f == nil {
+		return 0, 0, errors.New("results: store is closed")
+	}
+	if err := s.w.Flush(); err != nil {
+		return 0, 0, err
+	}
+	if err := s.f.Sync(); err != nil {
+		return 0, 0, err
+	}
+
+	// The file is the only witness of duplicate point lines (the index
+	// collapsed them on ingest), so count its point records for the
+	// dropped-points report.
+	pointLines, err := s.countPointLinesLocked()
+	if err != nil {
+		return 0, 0, err
+	}
+
+	keep := map[string]bool{}
+	for _, sums := range s.names {
+		keep[sums[len(sums)-1]] = true
+	}
+
+	tmp := s.path + ".compact"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	bw := bufio.NewWriter(tf)
+	var written int64
+	keptPoints := 0
+	writeRec := func(rec *record) error {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		n, err := bw.Write(append(data, '\n'))
+		written += int64(n)
+		return err
+	}
+	for _, sum := range s.order {
+		if !keep[sum] {
+			continue
+		}
+		p := s.plans[sum]
+		if err := writeRec(&record{Kind: kindManifest, Sum: sum, Manifest: p.m}); err != nil {
+			tf.Close()
+			os.Remove(tmp)
+			return 0, 0, err
+		}
+		idx := make([]int, 0, len(p.points))
+		for i := range p.points {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		for _, i := range idx {
+			r := p.points[i]
+			if err := writeRec(&record{Kind: kindPoint, Sum: sum, Point: &manifest.Record{Index: i, Result: r}}); err != nil {
+				tf.Close()
+				os.Remove(tmp)
+				return 0, 0, err
+			}
+			keptPoints++
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return 0, 0, err
+	}
+
+	// Swap the append handle onto the new file; the old handle still
+	// points at the replaced (unlinked) bytes.
+	old := s.f
+	s.f = nil
+	old.Close()
+	f, err := os.OpenFile(s.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.f = f
+	s.w = bufio.NewWriter(f)
+	s.off = written
+
+	order := make([]string, 0, len(keep))
+	plans := make(map[string]*plan, len(keep))
+	names := make(map[string][]string, len(keep))
+	for _, sum := range s.order {
+		if !keep[sum] {
+			droppedPlans++
+			continue
+		}
+		p := s.plans[sum]
+		order = append(order, sum)
+		plans[sum] = p
+		names[p.m.Name] = append(names[p.m.Name], sum)
+	}
+	s.order, s.plans, s.names = order, plans, names
+	return droppedPlans, pointLines - keptPoints, nil
+}
+
+// countPointLinesLocked scans the (flushed) file and counts its point
+// records. Callers hold s.mu.
+func (s *Store) countPointLinesLocked() (int, error) {
+	f, err := os.Open(s.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	rd := bufio.NewReaderSize(f, 1<<20)
+	n := 0
+	for {
+		line, err := rd.ReadBytes('\n')
+		if err == io.EOF {
+			return n, nil
+		}
+		if err != nil {
+			return 0, err
+		}
+		var k struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &k); err != nil {
+			return 0, fmt.Errorf("results: %s: %w", s.path, err)
+		}
+		if k.Kind == kindPoint {
+			n++
+		}
+	}
+}
+
 // Sync flushes and fsyncs the file (writable stores only).
 func (s *Store) Sync() error {
 	s.mu.Lock()
