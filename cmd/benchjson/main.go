@@ -18,7 +18,10 @@
 //
 // Benchmarks that exist on only one side are reported but never fail the
 // gate, so adding or retiring benchmarks does not require touching the
-// baseline in the same change.
+// baseline in the same change. Non-finite metric values (a NaN or ±Inf
+// from a degenerate b.ReportMetric ratio) are dropped from the entry —
+// JSON cannot encode them, and one broken metric must not cost CI the
+// whole baseline artifact.
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -70,6 +74,13 @@ func parseLine(line string) (Entry, bool) {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
 			return Entry{}, false
+		}
+		// A degenerate custom metric (b.ReportMetric of a 0/0 ratio prints
+		// NaN, an x/0 prints ±Inf) has no JSON encoding: json.Encode would
+		// reject the whole record and CI would lose the baseline. Drop the
+		// one metric, keep the benchmark.
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
 		}
 		e.Metrics[fields[i+1]] = v
 	}

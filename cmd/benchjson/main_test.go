@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
@@ -20,6 +22,27 @@ func TestParseLine(t *testing.T) {
 		if _, ok := parseLine(bad); ok {
 			t.Errorf("accepted %q", bad)
 		}
+	}
+}
+
+// TestParseLineDropsNonFiniteMetrics pins the sanitization: a NaN or ±Inf
+// custom metric (a degenerate b.ReportMetric ratio) is dropped rather than
+// poisoning the record — json.Encode rejects non-finite values, and one
+// broken metric must not cost CI the whole baseline artifact.
+func TestParseLineDropsNonFiniteMetrics(t *testing.T) {
+	e, ok := parseLine("BenchmarkFoo-8 4 345.6 ns/op NaN delay-ratio +Inf x/op -Inf y/op")
+	if !ok {
+		t.Fatal("rejected a benchmark line with non-finite metrics")
+	}
+	if len(e.Metrics) != 1 || e.Metrics["ns/op"] != 345.6 {
+		t.Errorf("metrics %v, want only the finite ns/op", e.Metrics)
+	}
+	rec, _, err := parse(strings.NewReader("BenchmarkFoo-8 4 345.6 ns/op NaN delay-ratio\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewEncoder(io.Discard).Encode(rec); err != nil {
+		t.Errorf("sanitized record does not encode: %v", err)
 	}
 }
 

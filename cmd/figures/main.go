@@ -49,6 +49,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/queue"
 	"repro/internal/sweep"
+	"repro/nocsim"
 	"repro/nocsim/manifest"
 )
 
@@ -122,13 +123,28 @@ func main() {
 		maxPoints   = flag.Int("max-points", 0, "stop each figure after this many new points (0 = no limit); for testing interrupted runs")
 		coordinator = flag.String("coordinator", "", "compute through this nocsimd coordinator URL and reassemble tables from its journal")
 		authToken   = cli.AuthTokenFlag("bearer token for a -coordinator that runs with -auth-token")
+		stepWorkers = cli.StepWorkersFlag()
 	)
 	adaptive, refineBudget := cli.RefineFlags()
+	cpuProfile, memProfile := cli.ProfileFlags()
 	flag.Parse()
 
 	if err := cli.CheckWorkers(*workers); err != nil {
 		log.Fatal(err)
 	}
+	if err := cli.CheckStepWorkers(*stepWorkers); err != nil {
+		log.Fatal(err)
+	}
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			log.Print(err)
+		}
+	}()
+	nocsim.SetDefaultStepWorkers(*stepWorkers)
 	if *maxPoints < 0 {
 		log.Fatalf("-max-points must be >= 0 (got %d); 0 means no limit", *maxPoints)
 	}

@@ -1,0 +1,66 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// ProfileFlags registers the -cpuprofile and -memprofile flags shared by
+// the simulation-running commands. Pass the parsed values to
+// StartProfiles after flag.Parse.
+func ProfileFlags() (cpu, mem *string) {
+	cpu = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	mem = flag.String("memprofile", "", "write a heap profile to this file on exit")
+	return cpu, mem
+}
+
+// StartProfiles starts CPU profiling into cpuFile (when non-empty) and
+// returns a stop function that ends the CPU profile and writes the heap
+// profile to memFile (when non-empty). Callers must run stop before
+// exiting — including on the error paths, so a failed run still yields
+// its profile; stop is safe to call more than once. Empty file names
+// disable the corresponding profile, so the helper can be wired
+// unconditionally.
+func StartProfiles(cpuFile, memFile string) (stop func() error, err error) {
+	var cpuOut *os.File
+	if cpuFile != "" {
+		cpuOut, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			cpuOut.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				return fmt.Errorf("cpu profile: %w", err)
+			}
+		}
+		if memFile != "" {
+			out, err := os.Create(memFile)
+			if err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+			defer out.Close()
+			// An explicit GC makes the live-heap numbers reflect reachable
+			// memory, not collection timing.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(out); err != nil {
+				return fmt.Errorf("heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

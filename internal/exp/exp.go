@@ -26,11 +26,14 @@
 // Worker pools bound goroutines per Run call, not work per process:
 // nested grids (a panel point that fans out its own sub-grid) stack
 // pools multiplicatively. The process-wide leaf budget (SetLeafBudget,
-// AcquireLeaf) is the depth-aware bound: only the innermost unit of work
-// — one simulation — holds a budget slot while it executes, so total
-// in-flight simulations never exceed the budget no matter how deeply
-// grids nest, and since panel jobs never hold slots the scheme cannot
-// deadlock.
+// AcquireLeaf, AcquireLeafN) is the depth-aware bound: only the
+// innermost unit of work — one simulation — holds budget slots while it
+// executes, so total in-flight simulation threads never exceed the
+// budget no matter how deeply grids nest, and since panel jobs never
+// hold slots the scheme cannot deadlock. The budget is weighted: a
+// simulation stepped by k engine workers acquires k slots (AcquireLeafN),
+// so intra-simulation parallelism and grid parallelism draw from the
+// same pool of cores.
 //
 // # Cancellation and failure
 //
@@ -156,45 +159,82 @@ func Stats() (scheduled, done int64) {
 	return statScheduled.Load(), statDone.Load()
 }
 
-// Leaf budget: one process-wide cap on concurrently executing *leaf*
-// simulations. Worker pools bound goroutines per Run call, so nested
-// grids (a figure panel whose points each fan out their own sub-grid)
-// multiply pools up to W² goroutines; the budget is what bounds the
-// actual work. Only leaf work — a single simulation, wrapped in
-// AcquireLeaf by the layer that runs it — holds a slot; panel/outer jobs
-// never do, so a blocked leaf only ever waits on other leaves, which
-// always finish: nesting cannot deadlock (a naive per-level semaphore
-// would, with a panel holding a slot while its children wait for one).
-var (
-	leafMu   sync.Mutex
-	leafCh   chan struct{} // buffered; capacity = budget
-	leafBusy atomic.Int64
-	leafPeak atomic.Int64
-)
-
-// leafSlots returns the current budget channel, creating it with the
-// default capacity (GOMAXPROCS) on first use.
-func leafSlots() chan struct{} {
-	leafMu.Lock()
-	defer leafMu.Unlock()
-	if leafCh == nil {
-		leafCh = make(chan struct{}, runtime.GOMAXPROCS(0))
-	}
-	return leafCh
+// Leaf budget: one process-wide cap on concurrently held *leaf* slots.
+// Worker pools bound goroutines per Run call, so nested grids (a figure
+// panel whose points each fan out their own sub-grid) multiply pools up
+// to W² goroutines; the budget is what bounds the actual work. Only leaf
+// work — a single simulation, wrapped in AcquireLeaf/AcquireLeafN by the
+// layer that runs it — holds slots; panel/outer jobs never do, so a
+// blocked leaf only ever waits on other leaves, which always finish:
+// nesting cannot deadlock (a naive per-level semaphore would, with a
+// panel holding a slot while its children wait for one).
+//
+// The semaphore is weighted: a leaf that itself runs on k engine threads
+// (a simulation with k step workers) charges k slots, so "budget = CPU
+// cores" keeps meaning "about one busy core per slot" whether the
+// parallelism lives between simulations or inside one. Waiters are
+// served strictly FIFO; the queue head blocks the line, so a wide
+// request cannot be starved by a stream of narrow ones.
+type leafWaiter struct {
+	want    int
+	granted int
+	ready   chan struct{}
 }
 
-// SetLeafBudget caps the number of concurrently executing leaf
-// simulations process-wide at n (n <= 0 restores the default,
-// GOMAXPROCS). Call it before starting experiments: slots held at the
-// time of the call drain against the old budget, so a mid-run resize
-// only bounds work acquired after it.
+var (
+	leafMu      sync.Mutex
+	leafCap     int // 0 until first use; then the configured budget
+	leafInUse   int
+	leafPeakN   int
+	leafWaiters []*leafWaiter
+)
+
+// leafCapLocked returns the budget, defaulting to GOMAXPROCS on first
+// use. Callers hold leafMu.
+func leafCapLocked() int {
+	if leafCap == 0 {
+		leafCap = runtime.GOMAXPROCS(0)
+	}
+	return leafCap
+}
+
+// leafGrantLocked hands slots to queued waiters, in FIFO order, while
+// they fit. Callers hold leafMu.
+func leafGrantLocked() {
+	budget := leafCapLocked()
+	for len(leafWaiters) > 0 {
+		w := leafWaiters[0]
+		take := w.want
+		if take > budget {
+			take = budget
+		}
+		if leafInUse+take > budget {
+			return
+		}
+		leafInUse += take
+		if leafInUse > leafPeakN {
+			leafPeakN = leafInUse
+		}
+		w.granted = take
+		close(w.ready)
+		leafWaiters[0] = nil
+		leafWaiters = leafWaiters[1:]
+	}
+}
+
+// SetLeafBudget caps the number of concurrently held leaf slots
+// process-wide at n (n <= 0 restores the default, GOMAXPROCS). Slots
+// already held keep counting against the new budget: shrinking below the
+// current in-flight load admits no new leaves until enough slots drain;
+// growing re-examines the wait queue immediately.
 func SetLeafBudget(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
 	leafMu.Lock()
 	defer leafMu.Unlock()
-	leafCh = make(chan struct{}, n)
+	leafCap = n
+	leafGrantLocked()
 }
 
 // AcquireLeaf blocks until a leaf slot is free (or ctx is done) and
@@ -202,42 +242,90 @@ func SetLeafBudget(n int) {
 // simulation: never hold a slot across code that acquires another, or
 // the no-deadlock argument above is void.
 func AcquireLeaf(ctx context.Context) (release func(), err error) {
-	ch := leafSlots()
-	select {
-	case ch <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	return AcquireLeafN(ctx, 1)
+}
+
+// AcquireLeafN blocks until n leaf slots are free (or ctx is done) and
+// returns the release function for all of them. A leaf simulation that
+// runs on n engine threads acquires weight n, so intra-simulation
+// parallelism spends the same budget as inter-simulation parallelism.
+// Requests wider than the whole budget are clamped to it (they would
+// never be satisfiable otherwise); n < 1 acquires one slot. The
+// acquisition is all-or-nothing — a waiter never holds a partial grant
+// while blocked, so concurrent wide acquirers cannot deadlock.
+func AcquireLeafN(ctx context.Context, n int) (release func(), err error) {
+	if n < 1 {
+		n = 1
 	}
-	if busy := leafBusy.Add(1); busy > leafPeak.Load() {
-		// Benign race: a concurrent Add may publish a lower peak after a
-		// higher one, but both candidates were true in-flight counts and
-		// the loop below restores monotonicity.
-		for {
-			p := leafPeak.Load()
-			if busy <= p || leafPeak.CompareAndSwap(p, busy) {
-				break
+	leafMu.Lock()
+	budget := leafCapLocked()
+	take := n
+	if take > budget {
+		take = budget
+	}
+	if len(leafWaiters) == 0 && leafInUse+take <= budget {
+		leafInUse += take
+		if leafInUse > leafPeakN {
+			leafPeakN = leafInUse
+		}
+		leafMu.Unlock()
+		return leafRelease(take), nil
+	}
+	w := &leafWaiter{want: n, ready: make(chan struct{})}
+	leafWaiters = append(leafWaiters, w)
+	leafMu.Unlock()
+	select {
+	case <-w.ready:
+		return leafRelease(w.granted), nil
+	case <-ctx.Done():
+		leafMu.Lock()
+		for i, q := range leafWaiters {
+			if q == w {
+				leafWaiters = append(leafWaiters[:i], leafWaiters[i+1:]...)
+				// Removing the queue head can unblock the next waiter.
+				leafGrantLocked()
+				leafMu.Unlock()
+				return nil, ctx.Err()
 			}
 		}
+		// Lost the race: the grant landed before cancellation was seen.
+		// Give the slots back.
+		leafInUse -= w.granted
+		leafGrantLocked()
+		leafMu.Unlock()
+		return nil, ctx.Err()
 	}
+}
+
+// leafRelease builds the (idempotent) release function for n held slots.
+func leafRelease(n int) func() {
 	var once sync.Once
 	return func() {
 		once.Do(func() {
-			leafBusy.Add(-1)
-			<-ch
+			leafMu.Lock()
+			leafInUse -= n
+			leafGrantLocked()
+			leafMu.Unlock()
 		})
-	}, nil
+	}
 }
 
-// LeafStats reports the number of leaf simulations executing right now
-// and the high-water mark since the last ResetLeafPeak. The peak is the
+// LeafStats reports the number of leaf slots held right now and the
+// high-water mark since the last ResetLeafPeak. The peak is the
 // instrumented proof of the budget: it never exceeds the configured cap.
 func LeafStats() (inFlight, peak int64) {
-	return leafBusy.Load(), leafPeak.Load()
+	leafMu.Lock()
+	defer leafMu.Unlock()
+	return int64(leafInUse), int64(leafPeakN)
 }
 
 // ResetLeafPeak clears the leaf high-water mark (for tests and for
 // per-phase reporting).
-func ResetLeafPeak() { leafPeak.Store(leafBusy.Load()) }
+func ResetLeafPeak() {
+	leafMu.Lock()
+	defer leafMu.Unlock()
+	leafPeakN = leafInUse
+}
 
 // Run executes fn(ctx, i) for every i in [0, n) across the runner's
 // worker pool and returns the results in index order. The returned error

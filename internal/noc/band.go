@@ -1,0 +1,354 @@
+package noc
+
+import "math/bits"
+
+// linkEvent records one link (or injection) traversal staged during cycle
+// t and applied at the start of cycle t+1. The flit itself has already
+// been written into the destination VC's ring slot by the sender — the
+// sending stage is that slot's only writer in the cycle, since exactly one
+// flit per (router, input port) can arrive per cycle — so the event
+// carries only the arrival notice and the piggybacked credit for the
+// freed upstream slot. Targets are precomputed at staging time from the
+// flat link tables, so delivery never chases neighbour pointers.
+//
+// node/port/vc locate the arrival: input port `port`, VC `vc` of router
+// `node`. credNode/credTarget/credVC locate the credit: credNode is the
+// upstream node id (deciding which band applies it; < 0 means no credit,
+// used for source injections, which track their own credits), and
+// credTarget >= 0 is the flat output-port index node*NumPorts+port of
+// the upstream router (the credit lands at outState[credTarget*VCs+
+// credVC]) while credTarget < 0 means the upstream feeder is the
+// injection source of node -credTarget-1.
+//
+// The six fields are packed into one word: staging and draining these
+// events is the hottest memory traffic in the engine (one per flit-hop
+// per cycle), and a single 8-byte store halves it against the naive
+// 16-byte struct. The field widths bound the mesh at levMaxNodes nodes
+// (Config.Validate enforces it) and ride on the existing VCs <= 64 cap.
+type linkEvent uint64
+
+const (
+	// linkEvent bit layout, LSB up: node(14) port(3) vc(6) credVC(6)
+	// credNode+1(15) credTarget+levCredBias(18).
+	levNodeBits        = 14
+	levMaxNodes        = 1 << levNodeBits
+	levPortShift       = levNodeBits
+	levVCShift         = levPortShift + 3
+	levCredVCShift     = levVCShift + 6
+	levCredNodeShift   = levCredVCShift + 6
+	levCredTargetShift = levCredNodeShift + 15
+	// levCredBias shifts credTarget (>= -nodes-1) into unsigned range.
+	levCredBias = levMaxNodes + 1
+)
+
+// makeLinkEvent packs an arrival notice (node, port, vc) and its
+// piggybacked credit (credNode, credTarget, credVC; credNode < 0 for
+// none) into one event word.
+func makeLinkEvent(node int32, port, vc int8, credNode, credTarget int32, credVC int8) linkEvent {
+	return linkEvent(uint64(node) |
+		uint64(port)<<levPortShift |
+		uint64(vc)<<levVCShift |
+		uint64(credVC)<<levCredVCShift |
+		uint64(credNode+1)<<levCredNodeShift |
+		uint64(credTarget+levCredBias)<<levCredTargetShift)
+}
+
+func (e linkEvent) node() int32       { return int32(e & (levMaxNodes - 1)) }
+func (e linkEvent) port() int8        { return int8(e >> levPortShift & 7) }
+func (e linkEvent) vc() int8          { return int8(e >> levVCShift & 63) }
+func (e linkEvent) credVC() int8      { return int8(e >> levCredVCShift & 63) }
+func (e linkEvent) credNode() int32   { return int32(e>>levCredNodeShift&(1<<15-1)) - 1 }
+func (e linkEvent) credTarget() int32 { return int32(e>>levCredTargetShift&(1<<18-1)) - levCredBias }
+
+// ejectEvent is a flit leaving the network at a local ejection port,
+// carrying the upstream credit for its freed slot. Ejects are applied
+// serially (OnArrive ordering), so the credit is applied there too. The
+// phase needs no flit payload — only packet completion on the tail — so
+// the event carries the packet pointer (nil for body flits) instead of
+// a 16-byte flit copy.
+type ejectEvent struct {
+	packet     *Packet
+	credTarget int32
+	credVC     int8
+}
+
+// band is a contiguous range of node ids [lo, hi) stepped as a unit by one
+// worker of the step-worker group (row bands of the mesh, since ids are
+// row-major). Routers never read or write each other's state within a
+// cycle — they interact only through events staged for the next cycle — so
+// any contiguous partition preserves exact semantics; each band owns the
+// delivery and compute of its routers and sources and stages outbound
+// events into its own buffers, which keeps the parallel phases free of
+// shared mutable state.
+type band struct {
+	lo, hi int
+
+	// Active-set bitmasks over the band's id range: bit k of word w set
+	// means node lo+w*64+k holds work. Iterating set bits in word order
+	// visits nodes in ascending id, matching the event order of the naive
+	// router-major loop. The counters make the quiescence check O(bands).
+	routerWords    []uint64
+	sourceWords    []uint64
+	nActiveRouters int
+	nActiveSources int
+
+	// Per-stage router bitmasks: bit k of rcWords/vaWords/saWords is set
+	// exactly while router lo+w*64+k has a nonzero nRouting/nWaitVC/
+	// nActive counter. Each stage pass sweeps only its own mask, so a
+	// router streaming a packet body (SA work every cycle, RC/VA work
+	// once per packet) costs the RC and VA passes nothing. The stage
+	// functions keep the bits in sync at counter 0<->nonzero transitions.
+	rcWords []uint64
+	vaWords []uint64
+	saWords []uint64
+
+	// Two-phase event staging: events produced during cycle t are applied
+	// at the start of cycle t+1, modelling one-cycle link and credit
+	// delays. Each band appends only to its own staged buffers; the
+	// delivery phase reads all bands' pending buffers but applies only
+	// events targeting its own id range.
+	stagedLinks   []linkEvent
+	pendingLinks  []linkEvent
+	stagedEjects  []ejectEvent
+	pendingEjects []ejectEvent
+
+	// flitsInjected counts source->router flit deliveries staged by this
+	// band's sources (summed across bands by Network.Stats).
+	flitsInjected int64
+
+	// VA slow-path scratch (NumPorts*VCs > 64), shared by the band's
+	// routers so the fallback allocator stays allocation-free.
+	vaReq   [NumPorts][]int32
+	vaIsReq []bool
+}
+
+// workerPhase selects which half of a Step a band worker runs.
+type workerPhase uint8
+
+const (
+	phaseDeliver workerPhase = iota + 1
+	phaseCompute
+)
+
+// buildBands partitions the mesh into w contiguous bands and rebinds every
+// router and source to its band. Callers ensure the network is quiescent
+// (no staged events, no active work), so only the cumulative injection
+// counter needs carrying over.
+func (n *Network) buildBands(w int) {
+	nodes := len(n.routers)
+	if w < 1 {
+		w = 1
+	}
+	if w > nodes {
+		w = nodes
+	}
+	var injected int64
+	for _, b := range n.bands {
+		injected += b.flitsInjected
+	}
+	bands := make([]*band, w)
+	for i := range bands {
+		lo := i * nodes / w
+		hi := (i + 1) * nodes / w
+		words := (hi - lo + 63) / 64
+		bands[i] = &band{
+			lo:          lo,
+			hi:          hi,
+			routerWords: make([]uint64, words),
+			sourceWords: make([]uint64, words),
+			rcWords:     make([]uint64, words),
+			vaWords:     make([]uint64, words),
+			saWords:     make([]uint64, words),
+		}
+	}
+	bands[0].flitsInjected = injected
+	for _, b := range bands {
+		for id := b.lo; id < b.hi; id++ {
+			n.routers[id].band = b
+			n.sources[id].band = b
+		}
+	}
+	n.bands = bands
+	n.stepWorkers = w
+}
+
+// startWorkers launches the persistent band workers (bands 1..W-1; the
+// caller of Step acts as the worker for band 0). Each worker blocks on its
+// phase channel, runs the requested phase over its band, and signals the
+// phase WaitGroup. The channel send in runPhase happens-before the
+// worker's phase execution, and the WaitGroup happens-before the caller's
+// return, so cross-phase state is properly synchronized.
+func (n *Network) startWorkers() {
+	if n.stepWorkers <= 1 {
+		return
+	}
+	n.phaseCh = make([]chan workerPhase, n.stepWorkers-1)
+	for i := 1; i < n.stepWorkers; i++ {
+		ch := make(chan workerPhase, 1)
+		n.phaseCh[i-1] = ch
+		b := n.bands[i]
+		n.workerWG.Add(1)
+		go func() {
+			defer n.workerWG.Done()
+			for ph := range ch {
+				switch ph {
+				case phaseDeliver:
+					n.deliverBand(b)
+				case phaseCompute:
+					n.computeBand(b, n.cycle)
+				}
+				n.phaseWG.Done()
+			}
+		}()
+	}
+}
+
+// stopWorkers shuts the worker group down and waits for the goroutines to
+// exit. Idempotent.
+func (n *Network) stopWorkers() {
+	for _, ch := range n.phaseCh {
+		close(ch)
+	}
+	n.phaseCh = nil
+	n.workerWG.Wait()
+}
+
+// runPhase fans one phase out to all band workers, runs band 0 on the
+// calling goroutine, and waits for the barrier.
+func (n *Network) runPhase(ph workerPhase) {
+	n.phaseWG.Add(len(n.phaseCh))
+	for _, ch := range n.phaseCh {
+		ch <- ph
+	}
+	b := n.bands[0]
+	if ph == phaseDeliver {
+		n.deliverBand(b)
+	} else {
+		n.computeBand(b, n.cycle)
+	}
+	n.phaseWG.Wait()
+}
+
+// deliverBand applies last cycle's link events targeting this band's
+// nodes: arrival commits for flits already sitting in their destination
+// ring slots, and upstream credits. It scans every band's pending buffers
+// (read-only during the delivery phase) and filters by target id, so no
+// two workers ever write the same router, source, or credit counter: at
+// most one flit per (router, input port) and one credit per (router,
+// output port, vc) exist per cycle, and delivery order across sibling
+// events is commutative.
+func (n *Network) deliverBand(b *band) {
+	cycle := n.cycle
+	if len(n.bands) == 1 {
+		// Serial fast path: every event targets this band.
+		for _, ev := range b.pendingLinks {
+			n.routers[ev.node()].commitArrival(Port(ev.port()), int(ev.vc()), cycle)
+			if cn := ev.credNode(); cn >= 0 {
+				if ct := ev.credTarget(); ct < 0 {
+					n.sources[-ct-1].acceptCredit(int(ev.credVC()))
+				} else {
+					n.returnCredit(ct, ev.credVC())
+				}
+			}
+		}
+		return
+	}
+	lo, hi := int32(b.lo), int32(b.hi)
+	for _, src := range n.bands {
+		for _, ev := range src.pendingLinks {
+			if node := ev.node(); node >= lo && node < hi {
+				n.routers[node].commitArrival(Port(ev.port()), int(ev.vc()), cycle)
+			}
+			if cn := ev.credNode(); cn >= lo && cn < hi {
+				if ct := ev.credTarget(); ct < 0 {
+					n.sources[-ct-1].acceptCredit(int(ev.credVC()))
+				} else {
+					n.returnCredit(ct, ev.credVC())
+				}
+			}
+		}
+	}
+}
+
+// returnCredit restores one credit to output VC credVC of the flat output
+// port credTarget (= node*NumPorts+port), keeping the owning router's
+// credit mask in sync. Callers hold exclusive access to that router's
+// state (its band worker, or the serial eject phase).
+func (n *Network) returnCredit(credTarget int32, credVC int8) {
+	o := &n.outState[int(credTarget)*n.cfg.VCs+int(credVC)]
+	o.credits++
+	if o.credits == 1 {
+		r := &n.routers[int(credTarget)/NumPorts]
+		r.creditMask[int(credTarget)%NumPorts] |= 1 << uint(credVC)
+		// A 0->1 transition may restore SA eligibility for the input VC
+		// holding this output VC (if it still has flits to send).
+		if owner := o.owner; owner >= 0 && r.vc[owner].bufLen > 0 {
+			r.saEligMask[int(owner)/r.vcs] |= 1 << uint(int(owner)%r.vcs)
+		}
+	} else if o.credits > int32(n.cfg.BufDepth) {
+		panic("noc: credit overflow (more credits than buffer slots)")
+	}
+}
+
+// computeBand runs one stage-major cycle over the band: each pipeline
+// stage sweeps the active-router bitmask once, in ascending id order, over
+// the contiguous per-VC state, before the next stage starts; then the
+// band's active sources inject. Routers that end the cycle with no work
+// are pruned from the active set, as are drained sources.
+func (n *Network) computeBand(b *band, cycle int64) {
+	routers := n.routers
+	for w, word := range b.rcWords {
+		if word == 0 {
+			continue
+		}
+		base := b.lo + w*64
+		for ; word != 0; word &= word - 1 {
+			routers[base+bits.TrailingZeros64(word)].stageRC(cycle)
+		}
+	}
+	for w, word := range b.vaWords {
+		if word == 0 {
+			continue
+		}
+		base := b.lo + w*64
+		for ; word != 0; word &= word - 1 {
+			routers[base+bits.TrailingZeros64(word)].stageVA(cycle)
+		}
+	}
+	// A router can only run out of work during its SA pass (flits leave
+	// nowhere else), so pruning the band's active set here catches every
+	// router the moment it goes idle.
+	for w, word := range b.saWords {
+		if word == 0 {
+			continue
+		}
+		base := b.lo + w*64
+		for ; word != 0; word &= word - 1 {
+			k := bits.TrailingZeros64(word)
+			r := &routers[base+k]
+			r.stageSA(cycle)
+			if !r.hasWork() {
+				r.active = false
+				b.routerWords[w] &^= 1 << uint(k)
+				b.nActiveRouters--
+			}
+		}
+	}
+	sources := n.sources
+	for w, word := range b.sourceWords {
+		if word == 0 {
+			continue
+		}
+		base := b.lo + w*64
+		for ; word != 0; word &= word - 1 {
+			k := bits.TrailingZeros64(word)
+			s := sources[base+k]
+			s.step(cycle, &n.cfg)
+			if !s.hasWork() {
+				s.active = false
+				b.sourceWords[w] &^= 1 << uint(k)
+				b.nActiveSources--
+			}
+		}
+	}
+}

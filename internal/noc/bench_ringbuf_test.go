@@ -2,37 +2,6 @@ package noc
 
 import "testing"
 
-// BenchmarkFlitRingPushPop measures the VC buffer FIFO at typical depth.
-func BenchmarkFlitRingPushPop(b *testing.B) {
-	r := newFlitRing(4)
-	f := &Flit{}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		r.Push(f)
-		r.Push(f)
-		r.Pop()
-		r.Pop()
-	}
-}
-
-// BenchmarkFlitRingFrontLen measures the read-only accessors the switch
-// allocator hits every eligibility check.
-func BenchmarkFlitRingFrontLen(b *testing.B) {
-	r := newFlitRing(4)
-	r.Push(&Flit{})
-	b.ReportAllocs()
-	b.ResetTimer()
-	sink := 0
-	for i := 0; i < b.N; i++ {
-		sink += r.Len()
-		if r.Front() != nil {
-			sink++
-		}
-	}
-	_ = sink
-}
-
 // BenchmarkPacketQueue measures the unbounded source queue in its
 // steady-state push/pop regime (including the amortized compaction).
 func BenchmarkPacketQueue(b *testing.B) {

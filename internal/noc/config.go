@@ -79,6 +79,10 @@ func (c Config) Validate() error {
 	if c.Width*c.Height < 2 {
 		errs = append(errs, errors.New("mesh must contain at least 2 nodes"))
 	}
+	if c.Width*c.Height > 16384 {
+		// The staged link-event word packs node ids into 14 bits.
+		errs = append(errs, fmt.Errorf("at most 16384 nodes are supported, got %dx%d", c.Width, c.Height))
+	}
 	if c.VCs < 1 {
 		errs = append(errs, fmt.Errorf("need at least 1 virtual channel, got %d", c.VCs))
 	}
@@ -88,6 +92,10 @@ func (c Config) Validate() error {
 	}
 	if c.BufDepth < 1 {
 		errs = append(errs, fmt.Errorf("need at least 1 buffer slot per VC, got %d", c.BufDepth))
+	}
+	if c.BufDepth > 255 {
+		// The packed per-VC pipeline record stores ring head/length as bytes.
+		errs = append(errs, fmt.Errorf("at most 255 buffer slots per VC are supported, got %d", c.BufDepth))
 	}
 	if c.PacketSize < 1 {
 		errs = append(errs, fmt.Errorf("packet size must be at least 1 flit, got %d", c.PacketSize))

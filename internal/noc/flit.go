@@ -41,13 +41,19 @@ type Packet struct {
 
 // Flit is the flow-control unit. Flits belong to exactly one packet and are
 // delivered in order within a virtual channel.
+//
+// Flits are plain 16-byte values, stored by value in the VC buffers and in
+// the staged link events: copying one is cheaper than chasing a pointer to
+// it, and value storage is what lets the stage-major engine keep all flit
+// state in flat contiguous arrays with no free lists (and no shared pool
+// for the banded step workers to race on).
 type Flit struct {
 	Packet *Packet
-	Seq    int  // index of this flit within the packet, 0-based
-	Head   bool // first flit of the packet
-	Tail   bool // last flit of the packet
-
+	Seq    int32 // index of this flit within the packet, 0-based
 	// VC is the virtual channel the flit occupies in the input buffer it
-	// is currently stored in (or is in flight towards).
-	VC int
+	// is currently stored in (or is in flight towards). Config.Validate
+	// caps VCs at 64, so int8 always holds it.
+	VC   int8
+	Head bool // first flit of the packet
+	Tail bool // last flit of the packet
 }

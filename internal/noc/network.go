@@ -2,74 +2,84 @@ package noc
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"sync"
 )
 
-// flitEvent is a flit in flight on a link, to be delivered at Cycle.
-type flitEvent struct {
-	router *Router
-	port   Port
-	flit   *Flit
-}
-
-// creditEvent is a credit in flight back towards the sender feeding
-// router's input (port, vc).
-type creditEvent struct {
-	router *Router
-	port   Port
-	vc     int
-}
-
-// ejectEvent is a flit leaving the network at a local ejection port.
-type ejectEvent struct {
-	node NodeID
-	flit *Flit
+// linkInfo is one packed row of the flat link table (see Network.links):
+// node/port name the downstream router and its input port behind this
+// output port (node < 0 where the mesh ends), and target/upNode name the
+// credit destination for slots this *input* port frees (the linkEvent
+// credTarget encoding; upNode < 0 where there is no upstream router).
+type linkInfo struct {
+	node   int32
+	target int32
+	upNode int32
+	port   int8
 }
 
 // Network is the complete mesh fabric: routers, links, and per-node
 // injection sources. It advances strictly one network clock cycle per Step
 // call; real-time semantics under DVFS are handled by the caller.
 //
-// Step is optimized for the common case of a lightly loaded or quiescent
-// fabric: it maintains id-ordered work lists of routers and sources that
-// currently hold work, and when the whole network is quiescent (nothing
-// buffered, staged, or queued) it advances the clock in O(1) — the
-// skip-ahead fast path. Both optimizations are exact: an idle router or
-// source's step is a guaranteed no-op, and the work lists are kept in node
-// id order so every staged event (and therefore every OnArrive callback)
-// fires in exactly the order the naive all-routers loop would produce.
-// SetSkipAhead(false) restores the naive loop for tests and benchmarks.
+// The engine steps the mesh stage-major: for each pipeline stage (route
+// computation, VC allocation, switch allocation + link traversal,
+// ejection) it sweeps the active-router bitmask once over flat
+// struct-of-arrays state (vc/bufs/outState) owned by the network, and link
+// traversal resolves targets through flat link tables instead of chasing
+// per-router neighbour pointers. The mesh is sharded into contiguous id
+// bands (SetStepWorkers) stepped by a persistent worker group under a
+// two-phase deliver->compute barrier per cycle; routers interact only
+// through events staged for the next cycle, so any band count produces
+// results bit-identical to serial (golden-tested). A quiescent network
+// (nothing buffered, staged, or queued) advances the clock in O(bands) —
+// the skip-ahead fast path. SetSkipAhead(false) restores the naive
+// router-major iterate-everything loop, kept as the reference
+// implementation that equivalence tests compare against.
 type Network struct {
-	cfg     Config
-	routers []*Router
+	cfg Config
+	// routers holds the mesh's routers contiguously (never reallocated
+	// after construction, so interior pointers — neighbor links, source
+	// backrefs — stay valid). Contiguity keeps the per-router allocator
+	// state of adjacent routers on neighbouring cache lines for the
+	// band sweeps.
+	routers []Router
 	sources []*source
 
 	cycle int64
 
-	// Two-phase event staging: events produced during cycle t are applied
-	// at the start of cycle t+1, modelling one-cycle link and credit
-	// delays.
-	stagedFlits    []flitEvent
-	pendingFlits   []flitEvent
-	stagedCredits  []creditEvent
-	pendingCredits []creditEvent
-	stagedEjects   []ejectEvent
-	pendingEjects  []ejectEvent
+	// Flat per-VC state of the whole mesh, router-major. vc[g] and
+	// outState[g] are the input/output records of global flat VC
+	// g = (node*NumPorts+port)*VCs+vc; bufs holds the per-VC flit rings
+	// at bufs[g*BufDepth : (g+1)*BufDepth]. Routers hold subslice views.
+	vc       []vcState
+	bufs     []Flit
+	outState []outVCState
 
-	// activeRouters and activeSources are the work lists, kept sorted by
-	// node id (see the type comment for why ordering matters).
-	activeRouters []*Router
-	activeSources []*source
+	// links is the flat link table, indexed by node*NumPorts+port. One
+	// packed 16-byte record per port keeps the downstream half (node/port,
+	// read when the port sends) and the upstream half (upNode/target, read
+	// when the port frees a slot) on a single cache line, so the SA
+	// traversal path pays one load instead of four scattered ones.
+	links []linkInfo
 
-	// fullStep disables the skip-ahead fast path and the work lists,
-	// restoring the naive iterate-everything loop.
+	// bands partition the node id space; band workers 1..W-1 run on
+	// persistent goroutines fed by phaseCh, with phaseWG as the per-phase
+	// barrier and workerWG tracking goroutine lifetime for Close.
+	bands       []*band
+	stepWorkers int
+	phaseCh     []chan workerPhase
+	phaseWG     sync.WaitGroup
+	workerWG    sync.WaitGroup
+
+	// fullStep disables the skip-ahead fast path, the active sets, and
+	// the stage-major order, restoring the naive router-major loop
+	// (always serial, regardless of SetStepWorkers).
 	fullStep bool
 
-	// flitFree and packetFree are free lists recycling Flit and Packet
-	// objects on tail ejection, keeping the steady-state hot path
-	// allocation-free. Callers of OnArrive must not retain the *Packet
-	// beyond the callback (copy what they need; see trace.Log.AddPacket).
-	flitFree   []*Flit
+	// packetFree recycles Packet objects on tail ejection, keeping the
+	// steady-state hot path allocation-free. Flits are plain values and
+	// need no pooling.
 	packetFree []*Packet
 
 	// OnArrive, if non-nil, is invoked when a packet's tail flit is
@@ -80,39 +90,87 @@ type Network struct {
 
 	nextPacketID int64
 
-	// Counters for conservation checks and throughput statistics.
+	// Counters for conservation checks and throughput statistics
+	// (flit injections are counted per band; see band.flitsInjected).
 	packetsQueued  int64
 	packetsArrived int64
-	flitsInjected  int64
 	flitsEjected   int64
 }
 
 // NewNetwork builds a mesh network from cfg. It returns an error if the
-// configuration is invalid.
+// configuration is invalid. The network starts with one step worker; use
+// SetStepWorkers to shard the mesh, and Close to stop the worker group
+// when done (a no-op for the serial default).
 func NewNetwork(cfg Config) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("noc: invalid config: %w", err)
 	}
 	n := &Network{cfg: cfg}
 	nodes := cfg.Nodes()
-	n.routers = make([]*Router, nodes)
-	n.sources = make([]*source, nodes)
-	n.activeRouters = make([]*Router, 0, nodes)
-	n.activeSources = make([]*source, 0, nodes)
-	for id := 0; id < nodes; id++ {
-		n.routers[id] = newRouter(n, NodeID(id))
+	total := NumPorts * cfg.VCs
+	depth := cfg.BufDepth
+
+	n.vc = make([]vcState, nodes*total)
+	n.bufs = make([]Flit, nodes*total*depth)
+	n.outState = make([]outVCState, nodes*total)
+	for i := range n.vc {
+		n.vc[i].outVC = -1
 	}
+	for i := range n.outState {
+		n.outState[i] = outVCState{owner: -1, credits: int32(depth)}
+	}
+
+	n.routers = make([]Router, nodes)
+	n.sources = make([]*source, nodes)
 	for id := 0; id < nodes; id++ {
-		r := n.routers[id]
+		r := &n.routers[id]
+		*r = Router{
+			id:       NodeID(id),
+			net:      n,
+			vcs:      cfg.VCs,
+			depth:    depth,
+			vc:       n.vc[id*total : (id+1)*total],
+			bufs:     n.bufs[id*total*depth : (id+1)*total*depth],
+			outState: n.outState[id*total : (id+1)*total],
+			linkBase: id * NumPorts,
+		}
+		r.x, r.y = cfg.Coord(NodeID(id))
+		vcBits := ^uint64(0)
+		if cfg.VCs < 64 {
+			vcBits = uint64(1)<<uint(cfg.VCs) - 1
+		}
+		for p := range r.creditMask {
+			r.creditMask[p] = vcBits
+		}
+	}
+
+	n.links = make([]linkInfo, nodes*NumPorts)
+	for id := 0; id < nodes; id++ {
+		r := &n.routers[id]
+		x, y := cfg.Coord(NodeID(id))
+		li := id * NumPorts
+		n.links[li+int(PortLocal)] = linkInfo{node: -1, target: -int32(id) - 1, upNode: int32(id)}
 		for p := PortNorth; p <= PortWest; p++ {
 			dx, dy := p.delta()
-			x, y := cfg.Coord(NodeID(id))
-			if cfg.InMesh(x+dx, y+dy) {
-				r.neighbor[p] = n.routers[cfg.Node(x+dx, y+dy)]
+			if !cfg.InMesh(x+dx, y+dy) {
+				n.links[li+int(p)] = linkInfo{node: -1, upNode: -1}
+				continue
+			}
+			nb := &n.routers[cfg.Node(x+dx, y+dy)]
+			r.neighbor[p] = nb
+			// A slot freed in r's input port p returns a credit to nb's
+			// output port facing r.
+			n.links[li+int(p)] = linkInfo{
+				node:   int32(nb.id),
+				port:   int8(p.Opposite()),
+				target: int32(int(nb.id)*NumPorts + int(p.Opposite())),
+				upNode: int32(nb.id),
 			}
 		}
 		n.sources[id] = newSource(NodeID(id), r, &cfg)
 	}
+
+	n.buildBands(1)
 	return n, nil
 }
 
@@ -123,62 +181,79 @@ func (n *Network) Config() Config { return n.cfg }
 func (n *Network) Cycle() int64 { return n.cycle }
 
 // Router returns the router at node id.
-func (n *Network) Router(id NodeID) *Router { return n.routers[id] }
+func (n *Network) Router(id NodeID) *Router { return &n.routers[id] }
 
-// SetSkipAhead enables or disables the quiescent fast path and the active
-// work lists (both are on by default). With skip-ahead disabled, Step
-// iterates every router and source every cycle — the naive loop. Results
-// are bit-identical either way; the knob exists so tests can assert that
-// and benchmarks can measure the difference.
+// SetSkipAhead enables or disables the quiescent fast path, the active
+// sets, and the stage-major order (all on by default). With skip-ahead
+// disabled, Step iterates every router and source every cycle in
+// router-major order — the naive reference loop. Results are bit-identical
+// either way; the knob exists so tests can assert that and benchmarks can
+// measure the difference.
 func (n *Network) SetSkipAhead(on bool) { n.fullStep = !on }
+
+// SetStepWorkers shards the mesh into w contiguous id bands (clamped to
+// [1, nodes]) stepped in parallel by a persistent worker group. Because
+// routers interact only through events staged for the next cycle, results
+// are bit-identical for every w. The network must be quiescent (freshly
+// built, or fully drained); changing the partition with work in flight
+// would need event rebucketing, which no caller requires.
+func (n *Network) SetStepWorkers(w int) {
+	if w < 1 {
+		w = 1
+	}
+	if w > len(n.routers) {
+		w = len(n.routers)
+	}
+	if w == n.stepWorkers {
+		return
+	}
+	if !n.Quiescent() {
+		panic("noc: SetStepWorkers requires a quiescent network")
+	}
+	n.stopWorkers()
+	n.buildBands(w)
+	n.startWorkers()
+}
+
+// StepWorkers returns the current step-worker count.
+func (n *Network) StepWorkers() int { return n.stepWorkers }
+
+// Close stops the band worker goroutines. It is idempotent and a no-op
+// for the serial default; the network must not be stepped after Close.
+func (n *Network) Close() { n.stopWorkers() }
 
 // Quiescent reports whether the network holds no work at all: no flits
 // buffered or in flight, no staged credits, and no source with queued or
 // partially sent packets. A quiescent Step only advances the clock.
 func (n *Network) Quiescent() bool {
-	return len(n.stagedFlits) == 0 && len(n.stagedCredits) == 0 &&
-		len(n.stagedEjects) == 0 && len(n.activeRouters) == 0 &&
-		len(n.activeSources) == 0
+	for _, b := range n.bands {
+		if b.nActiveRouters != 0 || b.nActiveSources != 0 ||
+			len(b.stagedLinks) != 0 || len(b.stagedEjects) != 0 {
+			return false
+		}
+	}
+	return true
 }
 
-// activateRouter inserts r into the active work list, keeping it sorted by
-// node id. Callers must check r.active first.
+// activateRouter sets r's bit in its band's active mask. Callers must
+// check r.active first. During the delivery phase only the band worker
+// that owns r calls this, so the mask update needs no synchronization.
 func (n *Network) activateRouter(r *Router) {
 	r.active = true
-	i := sort.Search(len(n.activeRouters), func(i int) bool {
-		return n.activeRouters[i].id >= r.id
-	})
-	n.activeRouters = append(n.activeRouters, nil)
-	copy(n.activeRouters[i+1:], n.activeRouters[i:])
-	n.activeRouters[i] = r
+	b := r.band
+	k := int(r.id) - b.lo
+	b.routerWords[k>>6] |= 1 << uint(k&63)
+	b.nActiveRouters++
 }
 
-// activateSource inserts s into the active work list, keeping it sorted by
-// node id. Callers must check s.active first.
+// activateSource sets s's bit in its band's active mask. Callers must
+// check s.active first.
 func (n *Network) activateSource(s *source) {
 	s.active = true
-	i := sort.Search(len(n.activeSources), func(i int) bool {
-		return n.activeSources[i].node >= s.node
-	})
-	n.activeSources = append(n.activeSources, nil)
-	copy(n.activeSources[i+1:], n.activeSources[i:])
-	n.activeSources[i] = s
-}
-
-// getFlit returns a recycled Flit or a fresh one.
-func (n *Network) getFlit() *Flit {
-	if k := len(n.flitFree); k > 0 {
-		f := n.flitFree[k-1]
-		n.flitFree = n.flitFree[:k-1]
-		return f
-	}
-	return new(Flit)
-}
-
-// putFlit recycles an ejected flit.
-func (n *Network) putFlit(f *Flit) {
-	f.Packet = nil
-	n.flitFree = append(n.flitFree, f)
+	b := s.band
+	k := int(s.node) - b.lo
+	b.sourceWords[k>>6] |= 1 << uint(k&63)
+	b.nActiveSources++
 }
 
 // getPacket returns a recycled Packet or a fresh one.
@@ -223,30 +298,13 @@ func (n *Network) NewPacket(src, dst NodeID, nowNs float64, dimOrder uint8) *Pac
 	return p
 }
 
-// stageFlit schedules delivery of a flit into router's input port at the
-// next cycle.
-func (n *Network) stageFlit(router *Router, port Port, f *Flit, _ int64) {
-	n.stagedFlits = append(n.stagedFlits, flitEvent{router: router, port: port, flit: f})
-	n.flitsInjected += boolToInt64(port == PortLocal)
-}
-
-// stageCredit schedules a credit return towards whatever feeds router's
-// input (port, vc): the upstream router for a mesh port, the injection
-// source for the local port.
-func (n *Network) stageCredit(router *Router, port Port, vc int, _ int64) {
-	n.stagedCredits = append(n.stagedCredits, creditEvent{router: router, port: port, vc: vc})
-}
-
-// stageEject schedules final delivery of an ejected flit to the node's PE.
-func (n *Network) stageEject(node NodeID, f *Flit, _ int64) {
-	n.stagedEjects = append(n.stagedEjects, ejectEvent{node: node, flit: f})
-}
-
-// Step advances the network by one clock cycle: it delivers flits and
-// credits staged in the previous cycle, runs every router pipeline with
-// staged work, and lets every source with pending packets inject at most
-// one flit. When the network is quiescent the whole call is the skip-ahead
-// fast path: the clock advances and nothing else runs.
+// Step advances the network by one clock cycle: it completes last cycle's
+// ejections, delivers staged flits and credits, runs the router pipelines
+// stage-major over the active sets, and lets every source with pending
+// packets inject at most one flit. With step workers configured, delivery
+// and compute each fan out across the bands under a barrier. When the
+// network is quiescent the whole call is the skip-ahead fast path: the
+// clock advances and nothing else runs.
 func (n *Network) Step() {
 	n.cycle++
 	if !n.fullStep && n.Quiescent() {
@@ -256,41 +314,47 @@ func (n *Network) Step() {
 
 	// Swap staging buffers: everything staged during cycle-1 is delivered
 	// now; new events are staged for cycle+1.
-	n.pendingFlits, n.stagedFlits = n.stagedFlits, n.pendingFlits[:0]
-	n.pendingCredits, n.stagedCredits = n.stagedCredits, n.pendingCredits[:0]
-	n.pendingEjects, n.stagedEjects = n.stagedEjects, n.pendingEjects[:0]
+	for _, b := range n.bands {
+		b.pendingLinks, b.stagedLinks = b.stagedLinks, b.pendingLinks[:0]
+		b.pendingEjects, b.stagedEjects = b.stagedEjects, b.pendingEjects[:0]
+	}
 
-	for _, ev := range n.pendingEjects {
-		n.flitsEjected++
-		if ev.flit.Tail {
-			p := ev.flit.Packet
-			p.ArriveCycle = cycle
-			n.packetsArrived++
-			if n.OnArrive != nil {
-				n.OnArrive(p, cycle)
+	// Ejection completes serially, in band order: bands hold contiguous
+	// ascending id ranges and each band staged its ejects in ascending
+	// router id order, so the concatenation reproduces exactly the
+	// OnArrive order of the naive loop. Keeping this phase (and with it
+	// the packet free list and the caller's OnArrive accumulators) on one
+	// goroutine is what lets the rest of the cycle parallelize. The
+	// piggybacked upstream credits are applied here too — still before the
+	// parallel phases start, and commutative with the credits those will
+	// deliver (distinct (output port, vc) slots or plain increments).
+	for _, b := range n.bands {
+		for i := range b.pendingEjects {
+			ev := &b.pendingEjects[i]
+			n.flitsEjected++
+			if ev.credTarget < 0 {
+				n.sources[-ev.credTarget-1].acceptCredit(int(ev.credVC))
+			} else {
+				n.returnCredit(ev.credTarget, ev.credVC)
 			}
-			n.packetFree = append(n.packetFree, p)
+			if p := ev.packet; p != nil {
+				p.ArriveCycle = cycle
+				n.packetsArrived++
+				if n.OnArrive != nil {
+					n.OnArrive(p, cycle)
+				}
+				n.packetFree = append(n.packetFree, p)
+			}
 		}
-		n.putFlit(ev.flit)
-	}
-	for _, ev := range n.pendingFlits {
-		ev.router.acceptFlit(ev.port, ev.flit, cycle)
-	}
-	for _, ev := range n.pendingCredits {
-		if ev.port == PortLocal {
-			n.sources[ev.router.id].acceptCredit(ev.vc)
-			continue
-		}
-		up := ev.router.neighbor[ev.port]
-		if up == nil {
-			panic("noc: credit towards a missing neighbour")
-		}
-		up.acceptCredit(ev.port.Opposite(), ev.vc)
 	}
 
 	if n.fullStep {
-		for _, r := range n.routers {
-			r.step(cycle)
+		// Naive reference loop: serial router-major over everything.
+		for _, b := range n.bands {
+			n.deliverBand(b)
+		}
+		for id := range n.routers {
+			n.routers[id].step(cycle)
 		}
 		for _, s := range n.sources {
 			s.step(cycle, &n.cfg)
@@ -298,52 +362,47 @@ func (n *Network) Step() {
 		return
 	}
 
-	// Work-list iteration: step only routers and sources that hold work,
-	// dropping the ones that went idle. Both lists are in node id order,
-	// so the event stream matches the naive loop exactly.
-	liveR := n.activeRouters[:0]
-	for _, r := range n.activeRouters {
-		r.step(cycle)
-		if r.hasWork() {
-			liveR = append(liveR, r)
-		} else {
-			r.active = false
-		}
+	if n.stepWorkers == 1 {
+		b := n.bands[0]
+		n.deliverBand(b)
+		n.computeBand(b, cycle)
+		return
 	}
-	n.activeRouters = liveR
-
-	liveS := n.activeSources[:0]
-	for _, s := range n.activeSources {
-		s.step(cycle, &n.cfg)
-		if s.hasWork() {
-			liveS = append(liveS, s)
-		} else {
-			s.active = false
-		}
-	}
-	n.activeSources = liveS
+	n.runPhase(phaseDeliver)
+	n.runPhase(phaseCompute)
 }
 
 // InFlight returns the number of flits currently inside the network:
 // buffered in routers or in flight on links (including flits owed by the
 // sources' partially sent packets and queued packets).
 func (n *Network) InFlight() int64 {
-	total := int64(len(n.stagedFlits)) + int64(len(n.stagedEjects))
+	var total int64
+	for _, b := range n.bands {
+		total += int64(len(b.stagedLinks)) + int64(len(b.stagedEjects))
+	}
 	if n.fullStep {
-		// The work lists are stale supersets in naive mode; walk everything.
-		for _, r := range n.routers {
-			total += int64(r.occupancy())
+		// The active sets are stale supersets in naive mode; walk everything.
+		for id := range n.routers {
+			total += int64(n.routers[id].occupancy())
 		}
 		for _, s := range n.sources {
 			total += s.pendingFlits(&n.cfg)
 		}
 		return total
 	}
-	for _, r := range n.activeRouters {
-		total += int64(r.occupancy())
-	}
-	for _, s := range n.activeSources {
-		total += s.pendingFlits(&n.cfg)
+	for _, b := range n.bands {
+		for w, word := range b.routerWords {
+			base := b.lo + w*64
+			for ; word != 0; word &= word - 1 {
+				total += int64(n.routers[base+bits.TrailingZeros64(word)].occupancy())
+			}
+		}
+		for w, word := range b.sourceWords {
+			base := b.lo + w*64
+			for ; word != 0; word &= word - 1 {
+				total += n.sources[base+bits.TrailingZeros64(word)].pendingFlits(&n.cfg)
+			}
+		}
 	}
 	return total
 }
@@ -363,15 +422,18 @@ func (n *Network) SourceBacklog() int64 {
 // Stats returns cumulative packet and flit counters: packets queued,
 // packets arrived, flits injected into routers, flits ejected.
 func (n *Network) Stats() (queued, arrived, injected, ejected int64) {
-	return n.packetsQueued, n.packetsArrived, n.flitsInjected, n.flitsEjected
+	for _, b := range n.bands {
+		injected += b.flitsInjected
+	}
+	return n.packetsQueued, n.packetsArrived, injected, n.flitsEjected
 }
 
 // Activity returns the aggregate activity of all routers plus the elapsed
 // cycle count.
 func (n *Network) Activity() NetworkActivity {
 	var agg NetworkActivity
-	for _, r := range n.routers {
-		agg.RouterActivity.Add(r.Activity)
+	for id := range n.routers {
+		agg.RouterActivity.Add(n.routers[id].Activity)
 	}
 	agg.Cycles = n.cycle
 	return agg
@@ -381,26 +443,69 @@ func (n *Network) Activity() NetworkActivity {
 // indexed by node id.
 func (n *Network) RouterActivities() []RouterActivity {
 	out := make([]RouterActivity, len(n.routers))
-	for i, r := range n.routers {
-		out[i] = r.Activity
+	for i := range n.routers {
+		out[i] = n.routers[i].Activity
 	}
 	return out
 }
 
-// CheckInvariants panics if any router's credit or VC state is
-// inconsistent. Tests call it liberally; production code does not need to.
+// CheckInvariants panics if any router's credit or VC state, or the band
+// active-set bookkeeping, is inconsistent. Tests call it liberally;
+// production code does not need to.
 func (n *Network) CheckInvariants() {
-	for _, r := range n.routers {
-		r.checkInvariants()
+	for id := range n.routers {
+		n.routers[id].checkInvariants()
 	}
-	for i, r := range n.activeRouters {
-		if i > 0 && n.activeRouters[i-1].id >= r.id {
-			panic("noc: active router list out of order")
+	for _, b := range n.bands {
+		nr, ns := 0, 0
+		for w, word := range b.routerWords {
+			base := b.lo + w*64
+			for ; word != 0; word &= word - 1 {
+				id := base + bits.TrailingZeros64(word)
+				if id >= b.hi {
+					panic("noc: active router bit outside band range")
+				}
+				if !n.routers[id].active {
+					panic("noc: active router bit set for inactive router")
+				}
+				nr++
+			}
+		}
+		for w, word := range b.sourceWords {
+			base := b.lo + w*64
+			for ; word != 0; word &= word - 1 {
+				id := base + bits.TrailingZeros64(word)
+				if id >= b.hi {
+					panic("noc: active source bit outside band range")
+				}
+				if !n.sources[id].active {
+					panic("noc: active source bit set for inactive source")
+				}
+				ns++
+			}
+		}
+		if nr != b.nActiveRouters || ns != b.nActiveSources {
+			panic("noc: band active counts out of sync")
+		}
+		for id := b.lo; id < b.hi; id++ {
+			k := id - b.lo
+			bit := uint64(1) << uint(k&63)
+			r := n.routers[id]
+			if (b.rcWords[k>>6]&bit != 0) != (r.nRouting > 0) ||
+				(b.vaWords[k>>6]&bit != 0) != (r.nWaitVC > 0) ||
+				(b.saWords[k>>6]&bit != 0) != (r.nActive > 0) {
+				panic("noc: band per-stage words out of sync with stage counters")
+			}
 		}
 	}
-	for i, s := range n.activeSources {
-		if i > 0 && n.activeSources[i-1].node >= s.node {
-			panic("noc: active source list out of order")
+	for id := range n.routers {
+		r := &n.routers[id]
+		if r.active {
+			b := r.band
+			k := int(r.id) - b.lo
+			if b.routerWords[k>>6]&(1<<uint(k&63)) == 0 {
+				panic("noc: active router missing from band mask")
+			}
 		}
 	}
 }
@@ -416,11 +521,4 @@ func (n *Network) Drain(maxCycles int64) bool {
 		n.Step()
 	}
 	return n.InFlight() == 0
-}
-
-func boolToInt64(b bool) int64 {
-	if b {
-		return 1
-	}
-	return 0
 }

@@ -21,4 +21,33 @@
 // All randomness used inside the network (e.g. O1TURN dimension selection)
 // is injected by the caller, keeping simulations fully deterministic for a
 // given seed.
+//
+// # Stage-major stepping
+//
+// The hot loop is stage-major, not router-major: each cycle sweeps every
+// active router's RC stage, then every VA, then every SA, walking
+// per-stage bitmasks over contiguous per-VC state (one packed 16-byte
+// record per virtual channel, flit payloads in flat per-network rings).
+// A router streaming a packet body has SA work every cycle but RC and VA
+// work only once per packet, so the per-stage masks let the RC and VA
+// sweeps skip it entirely. Within a cycle routers interact only through
+// events staged for the next cycle: a sender writes the outgoing flit
+// directly into the destination ring slot (exactly one flit per router
+// and input port can arrive per cycle, so the slot has a single writer)
+// and stages a 16-byte link event carrying the arrival notice and the
+// piggybacked upstream credit, applied at the start of cycle t+1.
+//
+// # Step workers
+//
+// SetStepWorkers(n) shards the mesh into n contiguous-id bands, each
+// stepped by one worker of a persistent goroutine group under a
+// two-phase barrier per cycle: deliver (each band applies last cycle's
+// events targeting its own routers) then compute (each band runs its
+// stage sweeps and stages new events into its own buffers). Ejections
+// run serially between the phases in band order, so OnArrive ordering —
+// and every other observable — is bit-identical to the serial engine for
+// every worker count; the golden tests in step_test.go enforce it.
+// Callers that run many simulations concurrently should charge one
+// leaf-budget slot per step worker (see exp.AcquireLeafN) so intra-sim
+// threads and concurrent sims draw from the same pool of cores.
 package noc

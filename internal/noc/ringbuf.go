@@ -1,65 +1,11 @@
 package noc
 
-// flitRing is a fixed-capacity FIFO of flits used as a virtual-channel
-// buffer. It never allocates after construction.
-type flitRing struct {
-	items []*Flit
-	head  int
-	count int
-}
-
-func newFlitRing(capacity int) flitRing {
-	return flitRing{items: make([]*Flit, capacity)}
-}
-
-// Len returns the number of buffered flits.
-func (r *flitRing) Len() int { return r.count }
-
-// Cap returns the buffer capacity in flits.
-func (r *flitRing) Cap() int { return len(r.items) }
-
-// Full reports whether the buffer has no free slots.
-func (r *flitRing) Full() bool { return r.count == len(r.items) }
-
-// Push appends a flit; it panics on overflow, which indicates a flow
-// control bug (credits must prevent overflow).
-func (r *flitRing) Push(f *Flit) {
-	if r.Full() {
-		panic("noc: VC buffer overflow (flow-control violation)")
-	}
-	i := r.head + r.count
-	if i >= len(r.items) {
-		i -= len(r.items)
-	}
-	r.items[i] = f
-	r.count++
-}
-
-// Front returns the oldest flit without removing it, or nil if empty.
-func (r *flitRing) Front() *Flit {
-	if r.count == 0 {
-		return nil
-	}
-	return r.items[r.head]
-}
-
-// Pop removes and returns the oldest flit; it panics if the buffer is empty.
-func (r *flitRing) Pop() *Flit {
-	if r.count == 0 {
-		panic("noc: pop from empty VC buffer")
-	}
-	f := r.items[r.head]
-	r.items[r.head] = nil
-	r.head++
-	if r.head >= len(r.items) {
-		r.head = 0
-	}
-	r.count--
-	return f
-}
-
 // packetQueue is an unbounded FIFO of packets backing a node's source
 // queue. It uses a slice with amortized compaction.
+//
+// (Flit buffering needs no counterpart: the per-VC flit rings live inline
+// in the network's flat bufs array, managed by the bufHead/bufLen fields
+// of each vcState record.)
 type packetQueue struct {
 	items []*Packet
 	head  int

@@ -1,6 +1,9 @@
 package noc
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // vcStage is the pipeline state of an input virtual channel.
 type vcStage uint8
@@ -16,36 +19,77 @@ const (
 	vcActive
 )
 
-// Router is one input-queued virtual-channel router of the mesh.
-//
-// The per-VC pipeline state is held in struct-of-arrays form, flattened to
-// flat index port*VCs+vc: the allocators scan the stage bytes of all VCs
-// every active cycle, and keeping them contiguous (40 bytes for the default
-// 5-port, 8-VC router — a single cache line) instead of strided through a
-// per-VC struct is the difference between a scan that lives in L1 and one
-// that misses on every port.
+// vcState is the complete pipeline record of one input VC, packed into 16
+// bytes so a single cache-line load answers everything the stage passes ask
+// (the previous layout spread this over four parallel slices and the SA
+// eligibility check paid one load per slice). All input VCs of the whole
+// mesh live in one flat network-owned array, router-major, so a stage pass
+// over the active-router bitmask walks memory mostly forward.
+type vcState struct {
+	// ready is the earliest cycle for the VC's next pipeline step.
+	ready int64
+	// port is the routed output port (valid from vcWaitVC onwards).
+	port int8
+	// outVC is the allocated downstream VC (valid in vcActive, else -1).
+	outVC int8
+	// stage is the pipeline stage (vcIdle..vcActive).
+	stage vcStage
+	// bufHead/bufLen locate the VC's flit ring inside the network's flat
+	// bufs array. Config.Validate caps BufDepth at 255 to keep them bytes.
+	bufHead uint8
+	bufLen  uint8
+	// wrHead is the ring slot the next arriving flit is written to. It is
+	// owned by the upstream writer (the neighbouring router's SA stage, or
+	// the local source), which stores the flit directly into the ring
+	// during its compute phase and stages only a small arrival notice; the
+	// VC's owner commits bufLen (and never touches wrHead) the next cycle.
+	// Credit flow guarantees at most one uncommitted arrival per input
+	// port per cycle, so the split-cursor ring is single-writer,
+	// single-reader with no overlapping field access.
+	wrHead uint8
+}
+
+// outVCState pairs the downstream credit count of an output VC with the
+// flat input VC index that currently owns it (-1 when free).
+type outVCState struct {
+	owner int32
+	// credits is the number of free slots in the downstream input buffer.
+	// Ejection (local) output VCs are replenished implicitly: the PE
+	// consumes flits at link rate, so their credits stay at BufDepth.
+	credits int32
+}
+
+// Router is one input-queued virtual-channel router of the mesh. The bulk
+// per-VC state lives in flat network-owned arrays (vc/bufs/outState); the
+// Router holds subslice views over its own records plus the allocator
+// round-robin pointers and the per-stage occupancy bitmasks that drive the
+// stage-major engine.
 type Router struct {
 	id   NodeID
 	x, y int
 	net  *Network
-	vcs  int // cached Config.VCs
+	band *band
 
-	// Input VC state, indexed by flat VC (port*VCs+vc).
-	inStage []vcStage // pipeline stage
-	inReady []int64   // earliest cycle for the next pipeline step
-	inPort  []int32   // routed output port (valid from vcWaitVC onwards)
-	inVC    []int32   // allocated downstream VC (valid in vcActive)
-	inBuf   []flitRing
+	vcs   int // cached Config.VCs
+	depth int // cached Config.BufDepth
 
-	// Output VC state, indexed by flat VC (port*VCs+vc).
-	outOwner []int32 // owning flat input VC, -1 when free
-	// outCredits is the number of free slots in the downstream input
-	// buffer. Ejection (local) output VCs are replenished implicitly: the
-	// PE consumes flits at link rate, so credits are pinned at BufDepth.
-	outCredits []int32
+	// vc[i] is the record of local flat input VC i = port*vcs+vc; a
+	// subslice of net.vc starting at global index id*NumPorts*vcs.
+	vc []vcState
+	// bufs holds the flit rings of the local input VCs: VC i's ring is
+	// bufs[i*depth : (i+1)*depth]. Subslice of net.bufs.
+	bufs []Flit
+	// outState[o] is the record of local output VC o = port*vcs+vc.
+	// Subslice of net.outState.
+	outState []outVCState
+
+	// linkBase is id*NumPorts, the router's row in the network's flat
+	// link table (Network.links).
+	linkBase int
 
 	// neighbor[port] is the adjacent router reached through port, or nil
-	// at mesh edges and for PortLocal.
+	// at mesh edges and for PortLocal. (The hot path uses the link tables
+	// instead; this stays for construction and tests.)
 	neighbor [NumPorts]*Router
 
 	// Round-robin priority pointers for the allocators.
@@ -53,36 +97,40 @@ type Router struct {
 	saInPri  [NumPorts]int // per input port, rotates over its VCs
 	saOutPri [NumPorts]int // per output port, rotates over input ports
 
-	// Scratch space reused every cycle by the allocators; all of it is
-	// allocated once in newRouter so the steady-state pipeline never
-	// touches the heap.
-	vaReq   [NumPorts][]int32 // requester flat input VC indices per output port
-	vaFree  []int32           // free output VC list, reused per output port
-	vaIsReq []bool            // per flat input VC: requesting the current port
-	// saInWin[p] is the winning VC of the SA input phase for input port p;
-	// it is only valid for ports present in the current cycle's request
-	// masks, so it needs no per-cycle reset.
-	saInWin [NumPorts]int
-
-	// Stage population counters let step skip empty pipeline stages; they
-	// are pure accounting and carry no semantics beyond "how many input
-	// VCs are currently in each stage".
-	nRouting int
-	nWaitVC  int
-	nActive  int
-	// Per-input-port stage occupancy bitmasks (bit v set when VC v of the
-	// port is in that stage), so the stage loops iterate set bits instead
-	// of scanning every VC. Config.Validate caps VCs at 64 to keep these
-	// in a single word.
+	// Stage population counters let a stage pass skip the router cheaply;
+	// the per-input-port bitmasks (bit v set when VC v of the port is in
+	// that stage) let it visit only occupied VCs. Config.Validate caps VCs
+	// at 64 to keep the masks single words.
+	nRouting    int
+	nWaitVC     int
+	nActive     int
 	routingMask [NumPorts]uint64
 	waitMask    [NumPorts]uint64
 	activeMask  [NumPorts]uint64
+
+	// creditMask mirrors the credit counters: bit v of word p is set while
+	// outState[p*vcs+v].credits > 0. SA eligibility tests this
+	// register-hot word instead of loading the counter's cache line; the
+	// counters stay authoritative and the mask is updated on every 0<->1
+	// transition. Only this router's band worker writes it (SA decrements
+	// in compute, credit returns in this band's delivery or the serial
+	// eject phase).
+	creditMask [NumPorts]uint64
+
+	// saEligMask caches full SA eligibility per input port: bit v is set
+	// while input VC v is in vcActive with a buffered flit and a credit
+	// available on its allocated output VC. The SA input phase rotates
+	// this word and takes the first ready bit instead of probing per-VC
+	// state; the mask is updated at the transitions that change any of
+	// the three conditions (VA grant, SA send, arrival commit, credit
+	// return). Same single-writer discipline as creditMask.
+	saEligMask [NumPorts]uint64
 
 	// buffered is the total number of flits held in input VC buffers;
 	// it makes occupancy O(1) for the quiescence check.
 	buffered int
 
-	// active reports whether the router is on the network's work list.
+	// active reports membership in the band's active-router bitmask.
 	active bool
 
 	// Activity is the per-router event accumulator for power estimation.
@@ -92,73 +140,64 @@ type Router struct {
 // ID returns the router's node id.
 func (r *Router) ID() NodeID { return r.id }
 
-func newRouter(net *Network, id NodeID) *Router {
-	cfg := &net.cfg
-	r := &Router{id: id, net: net, vcs: cfg.VCs}
-	r.x, r.y = cfg.Coord(id)
-	total := NumPorts * cfg.VCs
-	r.inStage = make([]vcStage, total)
-	r.inReady = make([]int64, total)
-	r.inPort = make([]int32, total)
-	r.inVC = make([]int32, total)
-	r.inBuf = make([]flitRing, total)
-	r.outOwner = make([]int32, total)
-	r.outCredits = make([]int32, total)
-	for i := 0; i < total; i++ {
-		r.inBuf[i] = newFlitRing(cfg.BufDepth)
-		r.outOwner[i] = -1
-		r.outCredits[i] = int32(cfg.BufDepth)
-	}
-	for p := 0; p < NumPorts; p++ {
-		r.vaReq[p] = make([]int32, 0, total)
-	}
-	r.vaFree = make([]int32, 0, cfg.VCs)
-	r.vaIsReq = make([]bool, total)
-	return r
+// setStageBit / clearStageBit keep one of the band's per-stage word sets
+// (rcWords/vaWords/saWords) in sync with this router's stage counter at a
+// 0<->nonzero transition. Only this router's band worker calls them.
+func (r *Router) setStageBit(words []uint64) {
+	k := int(r.id) - r.band.lo
+	words[k>>6] |= 1 << uint(k&63)
+}
+
+func (r *Router) clearStageBit(words []uint64) {
+	k := int(r.id) - r.band.lo
+	words[k>>6] &^= 1 << uint(k&63)
 }
 
 // hasWork reports whether the router holds any flits or any input VC in a
 // non-idle pipeline stage; an idle router's step is a guaranteed no-op, so
-// the network drops it from the active work list.
+// the engine drops it from the active set.
 func (r *Router) hasWork() bool {
 	return r.buffered > 0 || r.nRouting+r.nWaitVC+r.nActive > 0
 }
 
-// acceptFlit is called by the network's delivery phase when a flit arrives
-// on an input port (from a neighbouring router's link or from the local
-// injection source).
-func (r *Router) acceptFlit(p Port, f *Flit, cycle int64) {
-	i := int(p)*r.vcs + f.VC
-	wasEmpty := r.inBuf[i].Len() == 0
-	r.inBuf[i].Push(f)
+// commitArrival is called by the delivery phase when a flit staged last
+// cycle (already sitting in the ring slot its writer stored it to)
+// becomes visible on input port p. Only the band worker that owns this
+// router calls it.
+func (r *Router) commitArrival(p Port, vc int, cycle int64) {
+	i := int(p)*r.vcs + vc
+	st := &r.vc[i]
+	if int(st.bufLen) == r.depth {
+		panic(fmt.Sprintf("noc: buffer overflow at router %d port %s vc %d (flow control violated)", r.id, p, vc))
+	}
+	wasEmpty := st.bufLen == 0
+	st.bufLen++
 	r.buffered++
 	r.Activity.BufWrites++
 	if p == PortLocal {
 		r.Activity.InjectFlits++
 	}
 	// A head flit arriving at the front of an idle VC starts the pipeline
-	// on the next cycle.
-	if wasEmpty && r.inStage[i] == vcIdle {
-		if !f.Head {
-			panic("noc: body flit arrived at idle VC without a head")
+	// on the next cycle; a flit refilling an empty active VC makes it SA-
+	// eligible again if its output VC has a credit.
+	if wasEmpty {
+		if st.stage == vcIdle {
+			if !r.bufs[i*r.depth+int(st.bufHead)].Head {
+				panic("noc: body flit arrived at idle VC without a head")
+			}
+			st.stage = vcRouting
+			st.ready = cycle + 1
+			r.nRouting++
+			r.routingMask[p] |= 1 << uint(vc)
+			if r.nRouting == 1 {
+				r.setStageBit(r.band.rcWords)
+			}
+		} else if st.stage == vcActive && r.creditMask[st.port]&(1<<uint(st.outVC)) != 0 {
+			r.saEligMask[p] |= 1 << uint(vc)
 		}
-		r.inStage[i] = vcRouting
-		r.inReady[i] = cycle + 1
-		r.nRouting++
-		r.routingMask[p] |= 1 << uint(f.VC)
 	}
 	if !r.active {
 		r.net.activateRouter(r)
-	}
-}
-
-// acceptCredit is called by the delivery phase when a credit returns for
-// output port p, virtual channel vc.
-func (r *Router) acceptCredit(p Port, vc int) {
-	i := int(p)*r.vcs + vc
-	r.outCredits[i]++
-	if r.outCredits[i] > int32(r.net.cfg.BufDepth) {
-		panic("noc: credit overflow (more credits than buffer slots)")
 	}
 }
 
@@ -166,165 +205,320 @@ func (r *Router) acceptCredit(p Port, vc int) {
 func (r *Router) stageRC(cycle int64) {
 	cfg := &r.net.cfg
 	for p := 0; p < NumPorts; p++ {
+		m := r.routingMask[p]
+		if m == 0 {
+			continue
+		}
 		base := p * r.vcs
-		for m := r.routingMask[p]; m != 0; m &= m - 1 {
+		for ; m != 0; m &= m - 1 {
 			v := bits.TrailingZeros64(m)
 			i := base + v
-			if r.inReady[i] > cycle {
+			st := &r.vc[i]
+			if st.ready > cycle || st.bufLen == 0 {
 				continue
 			}
-			head := r.inBuf[i].Front()
-			if head == nil {
-				continue // head flit not yet buffered
-			}
-			r.inPort[i] = int32(RoutePort(cfg, r.id, head.Packet))
-			r.inStage[i] = vcWaitVC
-			r.inReady[i] = cycle + 1
+			head := r.bufs[i*r.depth+int(st.bufHead)]
+			st.port = int8(RoutePort(cfg, r.id, head.Packet))
+			st.stage = vcWaitVC
+			st.ready = cycle + 1
 			r.nRouting--
 			r.nWaitVC++
 			r.routingMask[p] &^= 1 << uint(v)
 			r.waitMask[p] |= 1 << uint(v)
 		}
 	}
+	if r.nRouting == 0 {
+		r.clearStageBit(r.band.rcWords)
+	}
+	if r.nWaitVC > 0 {
+		r.setStageBit(r.band.vaWords)
+	}
 }
 
 // stageVA performs separable input-first round-robin VC allocation: each
 // waiting input VC requests its routed output port; each output port grants
-// its free VCs to requesters in round-robin order.
+// its free VCs (in index order) to requesters in round-robin order starting
+// at the priority pointer.
 func (r *Router) stageVA(cycle int64) {
-	vcs := r.vcs
-	for p := range r.vaReq {
-		r.vaReq[p] = r.vaReq[p][:0]
+	if NumPorts*r.vcs <= 64 {
+		r.stageVAMask(cycle)
+	} else {
+		r.stageVASlow(cycle)
 	}
-	anyReq := false
+	if r.nWaitVC == 0 {
+		r.clearStageBit(r.band.vaWords)
+	}
+	if r.nActive > 0 {
+		r.setStageBit(r.band.saWords)
+	}
+}
+
+// stageVAMask is the VA fast path for NumPorts*VCs <= 64 (every practical
+// configuration): requester sets are uint64 masks over flat input VC
+// indices and the round-robin scan is a rotate + trailing-zeros loop that
+// visits requesters in exactly the order the linear scan would. Every
+// requester encountered is granted until the free list runs out, so a
+// single rotation by the initial priority pointer suffices.
+func (r *Router) stageVAMask(cycle int64) {
+	vcs := r.vcs
+	total := NumPorts * vcs
+	var req [NumPorts]uint64
+	var anyOps uint32
 	for p := 0; p < NumPorts; p++ {
+		m := r.waitMask[p]
+		if m == 0 {
+			continue
+		}
 		base := p * vcs
-		for m := r.waitMask[p]; m != 0; m &= m - 1 {
+		for ; m != 0; m &= m - 1 {
 			i := base + bits.TrailingZeros64(m)
-			if r.inReady[i] > cycle {
+			st := &r.vc[i]
+			if st.ready > cycle {
 				continue
 			}
-			r.vaReq[r.inPort[i]] = append(r.vaReq[r.inPort[i]], int32(i))
-			anyReq = true
+			op := uint(st.port)
+			req[op] |= 1 << uint(i)
+			anyOps |= 1 << op
 		}
 	}
-	if !anyReq {
-		return
-	}
-	total := NumPorts * vcs
-	for op := 0; op < NumPorts; op++ {
-		reqs := r.vaReq[op]
-		if len(reqs) == 0 {
-			continue
-		}
-		// Free output VCs in index order.
-		free := r.vaFree[:0]
+	for ; anyOps != 0; anyOps &= anyOps - 1 {
+		op := bits.TrailingZeros32(anyOps)
 		obase := op * vcs
+		var free [64]int8
+		nfree := 0
 		for ov := 0; ov < vcs; ov++ {
-			if r.outOwner[obase+ov] < 0 {
-				free = append(free, int32(ov))
+			if r.outState[obase+ov].owner < 0 {
+				free[nfree] = int8(ov)
+				nfree++
 			}
 		}
-		if len(free) == 0 {
+		if nfree == 0 {
 			continue
 		}
-		// Requesters in round-robin order starting at the priority pointer.
-		// vaIsReq turns the inner requester match into an O(1) lookup while
-		// preserving the exact grant order of a linear scan.
-		for _, req := range reqs {
-			r.vaIsReq[req] = true
+		pri := r.vaPri[op]
+		rot := req[op]>>uint(pri) | req[op]<<uint(total-pri)
+		if total < 64 {
+			rot &= uint64(1)<<uint(total) - 1
 		}
 		granted := 0
-		pri := r.vaPri[op]
-		for off := 0; off < total && granted < len(free); off++ {
-			want := pri + off
+		for ; rot != 0 && granted < nfree; rot &= rot - 1 {
+			want := pri + bits.TrailingZeros64(rot)
 			if want >= total {
 				want -= total
 			}
-			if !r.vaIsReq[want] {
-				continue
-			}
-			r.vaIsReq[want] = false
 			ip := want / vcs
 			iv := want - ip*vcs
-			ov := free[granted]
+			ov := int(free[granted])
 			granted++
-			r.outOwner[obase+int(ov)] = int32(want)
-			r.inVC[want] = ov
-			r.inStage[want] = vcActive
-			r.inReady[want] = cycle + 1
+			r.outState[obase+ov].owner = int32(want)
+			st := &r.vc[want]
+			st.outVC = int8(ov)
+			st.stage = vcActive
+			st.ready = cycle + 1
 			r.nWaitVC--
 			r.nActive++
 			r.waitMask[ip] &^= 1 << uint(iv)
 			r.activeMask[ip] |= 1 << uint(iv)
+			// The granted VC holds at least the head flit (nothing
+			// dequeues before vcActive), so SA eligibility only hinges
+			// on a credit.
+			if r.creditMask[op]&(1<<uint(ov)) != 0 {
+				r.saEligMask[ip] |= 1 << uint(iv)
+			}
 			r.Activity.VCAllocs++
 			r.vaPri[op] = want + 1
 			if r.vaPri[op] >= total {
 				r.vaPri[op] = 0
 			}
 		}
+	}
+}
+
+// stageVASlow is the list-based VA fallback for NumPorts*VCs > 64. Its
+// scratch (vaReq/vaIsReq) is shared across the routers of a band, so it
+// stays allocation-free in steady state.
+func (r *Router) stageVASlow(cycle int64) {
+	b := r.band
+	vcs := r.vcs
+	total := NumPorts * vcs
+	if len(b.vaIsReq) < total {
+		b.vaIsReq = make([]bool, total)
+	}
+	for p := range b.vaReq {
+		b.vaReq[p] = b.vaReq[p][:0]
+	}
+	anyReq := false
+	for p := 0; p < NumPorts; p++ {
+		m := r.waitMask[p]
+		if m == 0 {
+			continue
+		}
+		base := p * vcs
+		for ; m != 0; m &= m - 1 {
+			i := base + bits.TrailingZeros64(m)
+			st := &r.vc[i]
+			if st.ready > cycle {
+				continue
+			}
+			b.vaReq[st.port] = append(b.vaReq[st.port], int32(i))
+			b.vaIsReq[i] = true
+			anyReq = true
+		}
+	}
+	if !anyReq {
+		return
+	}
+	for op := 0; op < NumPorts; op++ {
+		reqs := b.vaReq[op]
+		if len(reqs) == 0 {
+			continue
+		}
+		obase := op * vcs
+		var free [64]int8
+		nfree := 0
+		for ov := 0; ov < vcs; ov++ {
+			if r.outState[obase+ov].owner < 0 {
+				free[nfree] = int8(ov)
+				nfree++
+			}
+		}
+		if nfree > 0 {
+			granted := 0
+			pri := r.vaPri[op]
+			for off := 0; off < total && granted < nfree; off++ {
+				want := pri + off
+				if want >= total {
+					want -= total
+				}
+				if !b.vaIsReq[want] {
+					continue
+				}
+				b.vaIsReq[want] = false
+				ip := want / vcs
+				iv := want - ip*vcs
+				ov := int(free[granted])
+				granted++
+				r.outState[obase+ov].owner = int32(want)
+				st := &r.vc[want]
+				st.outVC = int8(ov)
+				st.stage = vcActive
+				st.ready = cycle + 1
+				r.nWaitVC--
+				r.nActive++
+				r.waitMask[ip] &^= 1 << uint(iv)
+				r.activeMask[ip] |= 1 << uint(iv)
+				if r.creditMask[op]&(1<<uint(ov)) != 0 {
+					r.saEligMask[ip] |= 1 << uint(iv)
+				}
+				r.Activity.VCAllocs++
+				r.vaPri[op] = want + 1
+				if r.vaPri[op] >= total {
+					r.vaPri[op] = 0
+				}
+			}
+		}
 		for _, req := range reqs {
-			r.vaIsReq[req] = false
+			b.vaIsReq[req] = false
 		}
 	}
 }
 
 // stageSA performs two-phase round-robin switch allocation and, for the
-// winners, switch traversal: the flit is dequeued, sent on the output link
-// (arriving downstream next cycle) and a credit is scheduled upstream.
+// winners, switch traversal: the flit is dequeued, staged onto the output
+// link (arriving downstream next cycle) and a credit is staged upstream.
+// The link pass reads the network's flat link tables instead of chasing
+// neighbour pointers.
 func (r *Router) stageSA(cycle int64) {
 	vcs := r.vcs
+	depth := r.depth
+	widthMask := uint64(1)<<uint(vcs) - 1
 	// Input phase: each input port nominates one eligible VC and requests
 	// its output port. Requests are collected as bitmasks (NumPorts ≤ 5
 	// bits) so the output phase can resolve each grant with bit tricks
 	// instead of a NumPorts×NumPorts scan.
 	var reqOps uint32          // output ports with at least one requester
 	var reqIn [NumPorts]uint32 // per output port: requesting input ports
+	var saInWin [NumPorts]int8 // winning VC of the input phase, per port
 	for p := 0; p < NumPorts; p++ {
-		am := r.activeMask[p]
-		if am == 0 {
+		em := r.saEligMask[p]
+		if em == 0 {
 			continue
 		}
-		// Rotate the active mask right by the round-robin pointer so that
-		// trailing-zeros iteration visits VCs in priority order.
-		pri := r.saInPri[p]
-		rot := (am>>uint(pri) | am<<uint(vcs-pri)) & (uint64(1)<<uint(vcs) - 1)
 		base := p * vcs
+		if em&(em-1) == 0 {
+			// One eligible VC: it wins regardless of the round-robin
+			// pointer, no rotation needed (the overwhelmingly common
+			// case — a port streams one packet at a time).
+			v := bits.TrailingZeros64(em)
+			st := &r.vc[base+v]
+			if st.ready <= cycle {
+				saInWin[p] = int8(v)
+				out := uint(st.port)
+				reqOps |= 1 << out
+				reqIn[out] |= 1 << uint(p)
+			}
+			continue
+		}
+		// Rotate the eligibility mask right by the round-robin pointer so
+		// that trailing-zeros iteration visits VCs in priority order. The
+		// mask already encodes buffered-flit and credit availability; only
+		// the ready stamp (excluding VCs granted by VA this very cycle)
+		// still needs the per-VC record.
+		pri := r.saInPri[p]
+		rot := (em>>uint(pri) | em<<uint(vcs-pri)) & widthMask
 		for ; rot != 0; rot &= rot - 1 {
 			v := pri + bits.TrailingZeros64(rot)
 			if v >= vcs {
 				v -= vcs
 			}
-			i := base + v
-			if r.inReady[i] > cycle || r.inBuf[i].Len() == 0 {
+			st := &r.vc[base+v]
+			if st.ready > cycle {
 				continue
 			}
-			out := int(r.inPort[i])
-			if r.outCredits[out*vcs+int(r.inVC[i])] <= 0 {
-				continue
-			}
-			r.saInWin[p] = v
+			saInWin[p] = int8(v)
+			out := uint(st.port)
 			reqOps |= 1 << out
-			reqIn[out] |= 1 << p
+			reqIn[out] |= 1 << uint(p)
 			break
 		}
 	}
+	if reqOps == 0 {
+		return
+	}
+	net := r.net
+	b := r.band
+	links := b.stagedLinks
+	ejects := b.stagedEjects
 	// Output phase + traversal, in ascending output-port order. Each
 	// requested port grants the first requesting input port at or after
 	// its round-robin pointer: rotating the request mask right by the
 	// pointer makes that a single trailing-zeros count.
 	for ; reqOps != 0; reqOps &= reqOps - 1 {
 		op := bits.TrailingZeros32(reqOps)
-		pri := r.saOutPri[op]
 		m := reqIn[op]
-		rot := (m>>pri | m<<(NumPorts-pri)) & (1<<NumPorts - 1)
-		ip := pri + bits.TrailingZeros32(rot)
-		if ip >= NumPorts {
-			ip -= NumPorts
+		var ip int
+		if m&(m-1) == 0 {
+			// One requester: wins regardless of the pointer.
+			ip = bits.TrailingZeros32(m)
+		} else {
+			pri := r.saOutPri[op]
+			rot := (m>>uint(pri) | m<<uint(NumPorts-pri)) & (1<<NumPorts - 1)
+			ip = pri + bits.TrailingZeros32(rot)
+			if ip >= NumPorts {
+				ip -= NumPorts
+			}
 		}
-		v := r.saInWin[ip]
+		v := int(saInWin[ip])
 		i := ip*vcs + v
-		flit := r.inBuf[i].Pop()
+		st := &r.vc[i]
+
+		flit := r.bufs[i*depth+int(st.bufHead)]
+		if h := int(st.bufHead) + 1; h == depth {
+			st.bufHead = 0
+		} else {
+			st.bufHead = uint8(h)
+		}
+		st.bufLen--
 		r.buffered--
 		r.Activity.BufReads++
 		r.Activity.XbarTraversals++
@@ -338,53 +532,98 @@ func (r *Router) stageSA(cycle int64) {
 			r.saOutPri[op] = 0
 		}
 
-		outVC := int(r.inVC[i])
+		outVC := int(st.outVC)
 		o := op*vcs + outVC
-		flit.VC = outVC
+		flit.VC = int8(outVC)
+
+		// The freed buffer slot returns upstream as a credit, riding the
+		// same staged event as the flit (or the eject).
+		up := &net.links[r.linkBase+ip]
+		if up.upNode < 0 {
+			panic("noc: credit towards a missing neighbour")
+		}
 
 		// Send the flit: ejection to the local PE, otherwise on the link.
 		if Port(op) == PortLocal {
 			r.Activity.EjectFlits++
-			r.net.stageEject(r.id, flit, cycle+1)
-			// Ejection consumes at link rate: restore the credit
-			// immediately so local output VCs never block on credits.
+			var done *Packet
+			if flit.Tail {
+				done = flit.Packet
+			}
+			ejects = append(ejects, ejectEvent{packet: done, credTarget: up.target, credVC: int8(v)})
+			// Ejection consumes at link rate: the credit is restored
+			// immediately, so local output VCs never block on credits.
 		} else {
 			r.Activity.LinkFlits++
-			r.outCredits[o]--
-			r.net.stageFlit(r.neighbor[op], Port(op).Opposite(), flit, cycle+1)
+			os := &r.outState[o]
+			os.credits--
+			if os.credits == 0 {
+				r.creditMask[op] &^= 1 << uint(outVC)
+			}
+			lk := &net.links[r.linkBase+op]
+			dest := lk.node
+			if dest < 0 {
+				panic(fmt.Sprintf("noc: router %d sent a flit off-mesh through port %s", r.id, Port(op)))
+			}
+			// Store the flit directly into the destination VC's ring slot
+			// (this stage is the slot's only writer this cycle; the owner
+			// commits it next cycle) and stage the arrival+credit notice.
+			dp := int(lk.port)
+			g := (int(dest)*NumPorts+dp)*vcs + outVC
+			dst := &net.vc[g]
+			slot := int(dst.wrHead)
+			net.bufs[g*depth+slot] = flit
+			if slot++; slot == depth {
+				slot = 0
+			}
+			dst.wrHead = uint8(slot)
+			links = append(links, makeLinkEvent(dest, int8(dp), int8(outVC), up.upNode, up.target, int8(v)))
 			if flit.Head {
 				flit.Packet.Hops++
 			}
 		}
 
-		// Return a credit upstream for the freed buffer slot.
-		r.net.stageCredit(r, Port(ip), v, cycle+1)
-
 		// Tail departure releases the input VC and the output VC.
 		if flit.Tail {
-			r.outOwner[o] = -1
-			r.inStage[i] = vcIdle
-			r.inVC[i] = -1
+			r.outState[o].owner = -1
+			st.stage = vcIdle
+			st.outVC = -1
 			r.nActive--
 			r.activeMask[ip] &^= 1 << uint(v)
+			r.saEligMask[ip] &^= 1 << uint(v)
 			// If the next packet's head is already buffered behind the
 			// tail, restart the pipeline for it.
-			if next := r.inBuf[i].Front(); next != nil {
+			if st.bufLen > 0 {
+				next := r.bufs[i*depth+int(st.bufHead)]
 				if !next.Head {
 					panic("noc: flit following a tail is not a head")
 				}
-				r.inStage[i] = vcRouting
-				r.inReady[i] = cycle + 1
+				st.stage = vcRouting
+				st.ready = cycle + 1
 				r.nRouting++
 				r.routingMask[ip] |= 1 << uint(v)
 			}
+		} else if st.bufLen == 0 || r.creditMask[op]&(1<<uint(outVC)) == 0 {
+			// The sender stays active but lost a precondition: drained
+			// buffer, or the last credit of its output VC just went.
+			r.saEligMask[ip] &^= 1 << uint(v)
 		}
+	}
+	b.stagedLinks = links
+	b.stagedEjects = ejects
+	if r.nActive == 0 {
+		r.clearStageBit(b.saWords)
+	}
+	if r.nRouting > 0 {
+		r.setStageBit(b.rcWords)
 	}
 }
 
-// step runs one cycle of the router pipeline. Delivery of staged flits and
-// credits has already happened for this cycle. Empty stages are skipped
-// via the population counters.
+// step runs one router-major cycle (RC, VA, SA in sequence), skipping empty
+// stages via the population counters. The stage-major engine instead calls
+// the stage functions directly, batched across the routers of a band; this
+// router-major order is kept as the naive-mode reference path
+// (SetSkipAhead(false)) that the golden equivalence tests compare against.
 func (r *Router) step(cycle int64) {
 	if r.nRouting > 0 {
 		r.stageRC(cycle)
@@ -400,18 +639,18 @@ func (r *Router) step(cycle int64) {
 // occupancy returns the total number of flits buffered in the router.
 func (r *Router) occupancy() int { return r.buffered }
 
-// checkInvariants panics if credit accounting is inconsistent; used by
-// tests via Network.CheckInvariants.
+// checkInvariants panics if derived state is inconsistent; used by tests
+// via Network.CheckInvariants.
 func (r *Router) checkInvariants() {
-	cfg := &r.net.cfg
 	var nR, nW, nA int
-	var mR, mW, mA [NumPorts]uint64
+	var mR, mW, mA, mE [NumPorts]uint64
 	buffered := 0
 	for p := 0; p < NumPorts; p++ {
 		for v := 0; v < r.vcs; v++ {
 			i := p*r.vcs + v
-			buffered += r.inBuf[i].Len()
-			switch r.inStage[i] {
+			st := &r.vc[i]
+			buffered += int(st.bufLen)
+			switch st.stage {
 			case vcRouting:
 				nR++
 				mR[p] |= 1 << uint(v)
@@ -421,6 +660,13 @@ func (r *Router) checkInvariants() {
 			case vcActive:
 				nA++
 				mA[p] |= 1 << uint(v)
+				o := int(st.port)*r.vcs + int(st.outVC)
+				if r.outState[o].owner != int32(i) {
+					panic("noc: active input VC does not own its output VC")
+				}
+				if st.bufLen > 0 && r.outState[o].credits > 0 {
+					mE[p] |= 1 << uint(v)
+				}
 			}
 		}
 	}
@@ -430,19 +676,26 @@ func (r *Router) checkInvariants() {
 	if mR != r.routingMask || mW != r.waitMask || mA != r.activeMask {
 		panic("noc: per-port stage occupancy masks out of sync")
 	}
+	if mE != r.saEligMask {
+		panic("noc: SA eligibility mask out of sync")
+	}
 	if buffered != r.buffered {
 		panic("noc: buffered flit counter out of sync")
 	}
 	if r.hasWork() && !r.active {
-		panic("noc: router with work is not on the active list")
+		panic("noc: router with work is not in the active set")
 	}
 	for p := 0; p < NumPorts; p++ {
 		for v := 0; v < r.vcs; v++ {
 			i := p*r.vcs + v
-			if r.outCredits[i] < 0 || r.outCredits[i] > int32(cfg.BufDepth) {
+			st := &r.vc[i]
+			if r.outState[i].credits < 0 || r.outState[i].credits > int32(r.depth) {
 				panic("noc: output VC credits out of range")
 			}
-			if r.inStage[i] == vcIdle && r.inBuf[i].Len() != 0 {
+			if hasCredits := r.outState[i].credits > 0; hasCredits != (r.creditMask[p]&(1<<uint(v)) != 0) {
+				panic("noc: credit mask out of sync with credit counters")
+			}
+			if st.stage == vcIdle && st.bufLen != 0 {
 				panic("noc: idle input VC holds flits")
 			}
 		}

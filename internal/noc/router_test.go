@@ -197,12 +197,13 @@ func TestVCAllocationReleasedOnTail(t *testing.T) {
 		r := net.Router(NodeID(id))
 		for p := 0; p < NumPorts; p++ {
 			for v := 0; v < cfg.VCs; v++ {
-				if r.outOwner[p*cfg.VCs+v] != -1 {
+				o := r.outState[p*cfg.VCs+v]
+				if o.owner != -1 {
 					t.Fatalf("router %d out[%d][%d] still owned after drain", id, p, v)
 				}
-				if r.outCredits[p*cfg.VCs+v] != int32(cfg.BufDepth) {
+				if o.credits != int32(cfg.BufDepth) {
 					t.Fatalf("router %d out[%d][%d] credits %d != %d after drain",
-						id, p, v, r.outCredits[p*cfg.VCs+v], cfg.BufDepth)
+						id, p, v, o.credits, cfg.BufDepth)
 				}
 			}
 		}

@@ -10,6 +10,7 @@ type source struct {
 	node   NodeID
 	queue  packetQueue
 	router *Router
+	band   *band
 
 	// credits[v] counts free slots in the router's local input VC v.
 	credits []int
@@ -31,13 +32,13 @@ type source struct {
 
 	rrVC int // round-robin pointer for VC selection
 
-	// active reports whether the source is on the network's work list.
+	// active reports membership in the band's active-source bitmask.
 	active bool
 }
 
 // hasWork reports whether the source still owes the network flits: a
 // packet mid-serialization or queued packets. A source without work is a
-// guaranteed no-op in step, so the network drops it from the active list
+// guaranteed no-op in step, so the engine drops it from the active set
 // (credit returns are delivered independently of step).
 func (s *source) hasWork() bool { return s.cur != nil || s.queue.Len() > 0 }
 
@@ -69,7 +70,12 @@ func (s *source) acceptCredit(vc int) {
 	}
 }
 
-// step sends at most one flit into the router's local input port.
+// step sends at most one flit into the router's local input port: the
+// flit is written directly into the local VC's ring slot (the source is
+// that slot's only writer this cycle) and the arrival notice is staged on
+// the source's band for delivery next cycle. No credit rides along
+// (credNode < 0): the source tracks its own credits and the router
+// returns them through the link tables when the slot drains.
 func (s *source) step(cycle int64, cfg *Config) {
 	if s.cur == nil {
 		s.startPacket(cycle, cfg)
@@ -81,17 +87,27 @@ func (s *source) step(cycle int64, cfg *Config) {
 		return
 	}
 	p := s.cur
-	f := s.router.net.getFlit()
-	*f = Flit{
+	f := Flit{
 		Packet: p,
-		Seq:    s.curSeq,
+		Seq:    int32(s.curSeq),
 		Head:   s.curSeq == 0,
 		Tail:   s.curSeq == p.Size-1,
-		VC:     s.curVC,
+		VC:     int8(s.curVC),
 	}
 	s.credits[s.curVC]--
 	s.outstanding[s.curVC]++
-	s.router.net.stageFlit(s.router, PortLocal, f, cycle+1)
+	r := s.router
+	g := (int(s.node)*NumPorts+int(PortLocal))*r.vcs + s.curVC
+	dst := &r.net.vc[g]
+	slot := int(dst.wrHead)
+	r.net.bufs[g*r.depth+slot] = f
+	if slot++; slot == r.depth {
+		slot = 0
+	}
+	dst.wrHead = uint8(slot)
+	b := s.band
+	b.stagedLinks = append(b.stagedLinks, makeLinkEvent(int32(s.node), int8(PortLocal), int8(s.curVC), -1, 0, 0))
+	b.flitsInjected++
 	if f.Head {
 		p.InjectCycle = cycle
 	}

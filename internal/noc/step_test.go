@@ -109,3 +109,130 @@ func TestSkipAheadMatchesNaiveLoop(t *testing.T) {
 		}
 	}
 }
+
+// runWorkersGolden drives the shared traffic script with the given worker
+// count and returns every observable: arrival order (id, cycle, latency),
+// cumulative counters, and per-router activity.
+func runWorkersGolden(t *testing.T, workers int) ([][3]int64, [4]int64, []RouterActivity) {
+	t.Helper()
+	net, err := NewNetwork(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetStepWorkers(workers)
+	defer net.Close()
+	if got := net.StepWorkers(); got != workers {
+		t.Fatalf("StepWorkers() = %d after SetStepWorkers(%d)", got, workers)
+	}
+	var arrivals [][3]int64
+	net.OnArrive = func(p *Packet, cycle int64) {
+		arrivals = append(arrivals, [3]int64{p.ID, cycle, p.ArriveCycle - p.CreateCycle})
+	}
+	stepTraffic(net, 400, 2)
+	stepTraffic(net, 300, 0)
+	stepTraffic(net, 400, 5)
+	if !net.Drain(10_000) {
+		t.Fatal("traffic did not drain")
+	}
+	net.CheckInvariants()
+	q, a, i, e := net.Stats()
+	return arrivals, [4]int64{q, a, i, e}, net.RouterActivities()
+}
+
+// TestStepWorkersMatchSerial asserts the tentpole's determinism claim: the
+// banded parallel engine is bit-identical to the serial engine for every
+// worker count — same arrival order, same latencies, same counters, same
+// per-router activity. Under -race this doubles as the data-race proof for
+// the two-phase deliver/compute barrier and the direct-write flit rings.
+func TestStepWorkersMatchSerial(t *testing.T) {
+	serialArr, serialStats, serialAct := runWorkersGolden(t, 1)
+	for _, w := range []int{2, 3, 4, 8, 25} {
+		arr, stats, act := runWorkersGolden(t, w)
+		if stats != serialStats {
+			t.Errorf("workers=%d: counters diverge: %v vs serial %v", w, stats, serialStats)
+		}
+		if len(arr) != len(serialArr) {
+			t.Fatalf("workers=%d: arrival counts diverge: %d vs %d", w, len(arr), len(serialArr))
+		}
+		for i := range arr {
+			if arr[i] != serialArr[i] {
+				t.Fatalf("workers=%d: arrival %d diverges: %v vs serial %v", w, i, arr[i], serialArr[i])
+			}
+		}
+		for id := range act {
+			if act[id] != serialAct[id] {
+				t.Errorf("workers=%d: router %d activity diverges:\nparallel: %+v\nserial:   %+v", w, id, act[id], serialAct[id])
+			}
+		}
+	}
+}
+
+// TestStepWorkersReconfigure exercises the worker-group lifecycle: resizing
+// between drained bursts keeps results identical to serial, worker counts
+// clamp to [1, nodes], and Close is idempotent.
+func TestStepWorkersReconfigure(t *testing.T) {
+	cfg := DefaultConfig()
+	run := func(resize bool) ([4]int64, []RouterActivity) {
+		net, err := NewNetwork(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer net.Close()
+		for burst, w := range []int{4, 1, 2} {
+			if resize {
+				net.SetStepWorkers(w)
+			}
+			stepTraffic(net, 300, 3+burst)
+			if !net.Drain(10_000) {
+				t.Fatal("burst did not drain")
+			}
+			net.CheckInvariants()
+		}
+		q, a, i, e := net.Stats()
+		return [4]int64{q, a, i, e}, net.RouterActivities()
+	}
+	serialStats, serialAct := run(false)
+	resizedStats, resizedAct := run(true)
+	if resizedStats != serialStats {
+		t.Errorf("counters diverge after resizing: %v vs %v", resizedStats, serialStats)
+	}
+	for id := range resizedAct {
+		if resizedAct[id] != serialAct[id] {
+			t.Errorf("router %d activity diverges after resizing", id)
+		}
+	}
+
+	net, err := NewNetwork(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetStepWorkers(1000)
+	if got := net.StepWorkers(); got != cfg.Nodes() {
+		t.Errorf("StepWorkers() = %d, want clamp to %d nodes", got, cfg.Nodes())
+	}
+	net.SetStepWorkers(0)
+	if got := net.StepWorkers(); got != 1 {
+		t.Errorf("StepWorkers() = %d, want clamp to 1", got)
+	}
+	net.Close()
+	net.Close() // idempotent
+}
+
+// TestSetStepWorkersPanicsMidFlight pins the quiescence precondition:
+// repartitioning with staged events or buffered flits would misroute
+// in-flight work, so the engine refuses it loudly.
+func TestSetStepWorkersPanicsMidFlight(t *testing.T) {
+	net, err := NewNetwork(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer net.Close()
+	net.NewPacket(0, 24, 0, 0)
+	stepN(net, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetStepWorkers with work in flight did not panic")
+		}
+	}()
+	net.SetStepWorkers(4)
+}

@@ -50,6 +50,13 @@
 // replication and variance analysis across points see uncorrelated
 // samples.
 //
+// Determinism extends inside a single simulation: WithStepWorkers(n)
+// splits every engine step across n goroutines on a static router
+// partition, so the result is bit-identical to serial stepping for any
+// n. Step workers multiply against sweep-level Workers; under a leaf
+// budget each simulation acquires its full worker count, so the global
+// cap holds.
+//
 // # Calibration
 //
 // The RMSD and DMSD controllers need operating points (λmax, the delay
