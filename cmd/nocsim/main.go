@@ -12,6 +12,14 @@
 //	nocsim -app h264 -speed 0.8 -policy dmsd -target 120
 //	nocsim -scenario job.json
 //	nocsim -pattern uniform -rate 0.2 -dump-scenario   # print the wire form
+//
+// Beyond-paper workloads (see the README's scenario cookbook):
+//
+//	nocsim -pattern uniform -rate 0.2 -capture-trace t.json   # record
+//	nocsim -trace t.json                                      # replay bit-identically
+//	nocsim -pattern uniform -rate 0.2 -source mmpp -burst-ratio 6
+//	nocsim -pattern uniform -rate 0.2 -faulty-links "6>7,7>6"
+//	nocsim -pattern uniform -rate 0.2 -islands "0,0,2,4@0.5"
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/cli"
@@ -75,6 +84,15 @@ func main() {
 		lambdaMax = flag.Float64("lambda-max", 0, "RMSD target network rate (0 = auto-calibrate)")
 		target    = flag.Float64("target", 0, "DMSD target delay in ns (0 = auto-calibrate)")
 
+		traceRef     = flag.String("trace", "", "replay a recorded injection-trace JSON file instead of a pattern or app")
+		captureTrace = flag.String("capture-trace", "", "record this run's injections into a trace file (replay with -trace)")
+		source       = flag.String("source", "", "bursty arrival process under the pattern: mmpp or pareto")
+		burstRatio   = flag.Float64("burst-ratio", 0, "ON rate over mean rate for -source (0 = default 4)")
+		burstLen     = flag.Float64("burst-len", 0, "mean ON sojourn in node cycles for -source (0 = default 64)")
+		paretoAlpha  = flag.Float64("pareto-alpha", 0, "sojourn tail index for -source pareto (0 = default 1.5)")
+		faultyLinks  = flag.String("faulty-links", "", `comma-separated directed channels to mask, each "from>to"`)
+		islands      = flag.String("islands", "", `V/F islands as "x0,y0,x1,y1@speed" items separated by ';'`)
+
 		seed  = flag.Int64("seed", 1, "random seed")
 		quick = flag.Bool("quick", false, "shorter warmup/measurement windows")
 
@@ -98,7 +116,9 @@ func main() {
 			"width": true, "height": true, "vcs": true, "buffers": true,
 			"packet": true, "routing": true, "pattern": true, "rate": true,
 			"app": true, "speed": true, "policy": true, "lambda-max": true,
-			"target": true, "seed": true, "quick": true,
+			"target": true, "seed": true, "quick": true, "trace": true,
+			"source": true, "burst-ratio": true, "burst-len": true,
+			"pareto-alpha": true, "faulty-links": true, "islands": true,
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if shaping[f.Name] {
@@ -128,10 +148,36 @@ func main() {
 			nocsim.WithPolicy(nocsim.PolicyKind(*policy)),
 			nocsim.WithSeed(*seed),
 		}
-		if *appName != "" {
+		switch {
+		case *traceRef != "":
+			opts = append(opts, nocsim.WithTrace(*traceRef))
+		case *appName != "":
 			opts = append(opts, nocsim.WithApp(*appName), nocsim.WithLoad(*speed))
-		} else {
+		default:
 			opts = append(opts, nocsim.WithPattern(*pattern), nocsim.WithLoad(*rate))
+		}
+		switch *source {
+		case "":
+		case "mmpp":
+			opts = append(opts, nocsim.WithMMPP(*burstRatio, *burstLen))
+		case "pareto":
+			opts = append(opts, nocsim.WithParetoOnOff(*burstRatio, *burstLen, *paretoAlpha))
+		default:
+			log.Fatalf("unknown -source %q (want mmpp or pareto)", *source)
+		}
+		if *faultyLinks != "" {
+			links := strings.Split(*faultyLinks, ",")
+			for i := range links {
+				links[i] = strings.TrimSpace(links[i])
+			}
+			opts = append(opts, nocsim.WithFaultyLinks(links...))
+		}
+		if *islands != "" {
+			isl, err := parseIslands(*islands)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, nocsim.WithIslands(isl...))
 		}
 		if *quick {
 			opts = append(opts, nocsim.WithQuick())
@@ -155,6 +201,13 @@ func main() {
 	if *packetLog != "" || *flowLog != "" {
 		plog = nocsim.NewPacketLog(0)
 		if s, err = s.With(nocsim.WithPacketLog(plog)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var sink *nocsim.Trace
+	if *captureTrace != "" {
+		sink = nocsim.NewTrace()
+		if s, err = s.With(nocsim.WithTraceCapture(sink)); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -187,6 +240,13 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if sink != nil {
+		if err := sink.Save(*captureTrace); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace:       %d injections over %d cycles -> %s\n",
+			sink.Len(), sink.Cycles(), *captureTrace)
+	}
 	if res.Saturated {
 		fmt.Println("WARNING:     network saturated at this load")
 		os.Exit(2)
@@ -196,11 +256,47 @@ func main() {
 func describe(s nocsim.Scenario) string {
 	traffic := s.Pattern
 	loadLabel := fmt.Sprintf("rate %.3f", s.Load)
-	if s.App != "" {
+	switch {
+	case s.TraceRef != "":
+		traffic = "trace " + s.TraceRef
+		loadLabel = "recorded load"
+	case s.App != "":
 		traffic = s.App
 		loadLabel = fmt.Sprintf("speed %.2f", s.Load)
 	}
-	return fmt.Sprintf("%dx%d mesh, %d VCs, %d buf/VC, %d-flit packets, %s routing, %s traffic, %s",
+	if s.Source != nil {
+		traffic += "+" + s.Source.Kind
+	}
+	var extra string
+	if n := len(s.FaultyLinks); n > 0 {
+		extra += fmt.Sprintf(", %d faulty links", n)
+	}
+	if n := len(s.Islands); n > 0 {
+		extra += fmt.Sprintf(", %d islands", n)
+	}
+	return fmt.Sprintf("%dx%d mesh, %d VCs, %d buf/VC, %d-flit packets, %s routing, %s traffic, %s%s",
 		s.Mesh.Width, s.Mesh.Height, s.Mesh.VCs, s.Mesh.BufDepth, s.Mesh.PacketSize,
-		s.Mesh.Routing, traffic, loadLabel)
+		s.Mesh.Routing, traffic, loadLabel, extra)
+}
+
+// parseIslands parses the -islands flag: "x0,y0,x1,y1@speed" items
+// separated by semicolons, e.g. "0,0,2,4@0.5;3,0,4,4@0.75".
+func parseIslands(spec string) ([]nocsim.Island, error) {
+	var out []nocsim.Island
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		var isl nocsim.Island
+		if _, err := fmt.Sscanf(item, "%d,%d,%d,%d@%f",
+			&isl.X0, &isl.Y0, &isl.X1, &isl.Y1, &isl.Speed); err != nil {
+			return nil, fmt.Errorf(`island %q: want "x0,y0,x1,y1@speed"`, item)
+		}
+		out = append(out, isl)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("island spec %q holds no islands", spec)
+	}
+	return out, nil
 }

@@ -48,6 +48,27 @@ type Scenario struct {
 	// PeakRate is the busiest-node rate at App speed 1 (defaults to
 	// apps.DefaultPeakRate).
 	PeakRate float64
+	// Source layers a bursty generation process (MMPP or Pareto on-off)
+	// under the synthetic pattern; the zero value is the plain Bernoulli
+	// process. Sources combine with patterns only, not apps or traces.
+	Source traffic.SourceConfig
+	// Trace, when non-nil, replays a recorded injection trace instead of
+	// generating traffic; Pattern and App must then be empty, and
+	// policies that need a calibration must carry a pinned one (the
+	// calibration search sweeps load, which a fixed trace ignores).
+	Trace *trace.Injection
+	// TraceCapture, when non-nil, records every generated packet into
+	// the sink as injection-trace events. The sink is shared across the
+	// scenario's runs, so searches and sweeps run serially and the sink
+	// holds the events of the last run that used it.
+	TraceCapture *trace.Injection
+
+	// Faults lists directed mesh channels masked out of the fabric; the
+	// network routes around them with a minimal fault-aware table.
+	Faults []noc.Link
+	// Islands are per-region V/F clock dividers layered under the global
+	// DVFS frequency.
+	Islands []noc.Island
 
 	// FNode is the node clock in Hz (default 1 GHz).
 	FNode float64
@@ -104,7 +125,7 @@ type Scenario struct {
 // shared PacketLog is attached (concurrent runs would interleave its
 // records), otherwise Workers.
 func (s *Scenario) workers() int {
-	if s.PacketLog != nil {
+	if s.PacketLog != nil || s.TraceCapture != nil {
 		return 1
 	}
 	return s.Workers
@@ -139,11 +160,32 @@ func (s *Scenario) setDefaults() {
 }
 
 func (s *Scenario) validate() error {
-	if s.Pattern == "" && s.App == nil {
-		return errors.New("core: scenario needs a pattern or an app")
+	if s.Trace != nil {
+		if s.Pattern != "" || s.App != nil {
+			return errors.New("core: trace replay excludes patterns and apps")
+		}
+		if s.Source.Kind != "" {
+			return errors.New("core: trace replay excludes bursty sources (the trace already fixes every injection)")
+		}
+	} else {
+		if s.Pattern == "" && s.App == nil {
+			return errors.New("core: scenario needs a pattern, an app, or a trace")
+		}
+		if s.Pattern != "" && s.App != nil {
+			return errors.New("core: scenario has both a pattern and an app")
+		}
 	}
-	if s.Pattern != "" && s.App != nil {
-		return errors.New("core: scenario has both a pattern and an app")
+	if s.Source.Kind != "" && s.App != nil {
+		return errors.New("core: bursty sources combine with synthetic patterns only, not apps")
+	}
+	if err := s.Source.Validate(); err != nil {
+		return err
+	}
+	if err := noc.ValidateIslands(s.Noc, s.Islands); err != nil {
+		return err
+	}
+	if err := noc.ValidateFaults(s.Noc, s.Faults); err != nil {
+		return err
 	}
 	if s.ControlPeriod < 0 {
 		return fmt.Errorf("core: control period %d", s.ControlPeriod)
@@ -161,14 +203,31 @@ func (s *Scenario) validate() error {
 // RNG seed: an injection rate for synthetic patterns, a relative speed
 // for apps.
 func (s *Scenario) injector(load float64, seed int64) (*traffic.Injector, error) {
-	if s.App != nil {
-		return s.App.Injector(s.Noc, load, s.PeakRate, seed)
+	if s.Trace != nil {
+		return traffic.NewReplayInjector(s.Noc, s.Trace)
 	}
-	p, err := traffic.ByName(s.Pattern, s.Noc)
+	var inj *traffic.Injector
+	var err error
+	if s.App != nil {
+		inj, err = s.App.Injector(s.Noc, load, s.PeakRate, seed)
+	} else {
+		var p traffic.Pattern
+		if p, err = traffic.ByName(s.Pattern, s.Noc); err == nil {
+			inj, err = traffic.NewInjector(s.Noc, p, load, seed)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	return traffic.NewInjector(s.Noc, p, load, seed)
+	if s.Source.Kind != "" {
+		if err := inj.SetSource(s.Source); err != nil {
+			return nil, err
+		}
+	}
+	if s.TraceCapture != nil {
+		inj.StartCapture(s.TraceCapture)
+	}
+	return inj, nil
 }
 
 // simParams assembles sim.Params for one run seeded with seed.
@@ -188,6 +247,8 @@ func (s *Scenario) simParams(load float64, pol dvfs.Policy, adaptive bool, seed 
 		AdaptiveWarmup: adaptive,
 		PacketLog:      s.PacketLog,
 		StepWorkers:    s.StepWorkers,
+		Faults:         s.Faults,
+		Islands:        s.Islands,
 	}
 	if s.Quick {
 		// Quick mode shrinks windows 3-4x and shortens the control period
@@ -201,6 +262,12 @@ func (s *Scenario) simParams(load float64, pol dvfs.Policy, adaptive bool, seed 
 	}
 	if s.ControlPeriod > 0 {
 		p.ControlPeriod = s.ControlPeriod
+	}
+	if s.Trace != nil {
+		// Replay must measure the same node-cycle window the capture run
+		// did: adaptive warmup would let a DMSD run idle past the end of
+		// the recorded events and measure an empty network.
+		p.AdaptiveWarmup = false
 	}
 	if s.Transient {
 		// Transient capture: start measuring almost immediately and keep
@@ -252,9 +319,10 @@ func EquilibriumFreq(s Scenario, load float64, cal Calibration) float64 {
 		return s.Range.FMax
 	}
 	lambda := load
-	if s.App != nil {
-		// For apps the load is a relative speed; the offered network rate
-		// is the injector's mean per-node rate at that speed.
+	if s.App != nil || s.Trace != nil {
+		// For apps the load is a relative speed (and for traces it is
+		// ignored); the offered network rate is the injector's mean
+		// per-node rate.
 		if inj, err := s.injector(load, s.Seed); err == nil {
 			lambda = inj.MeanRate()
 		}
@@ -276,6 +344,9 @@ func FindSaturation(ctx context.Context, s Scenario) (float64, error) {
 	s.setDefaults()
 	if err := s.validate(); err != nil {
 		return 0, err
+	}
+	if s.Trace != nil {
+		return 0, errors.New("core: saturation search needs load to vary; trace scenarios must carry a pinned calibration")
 	}
 	// maxLoad is the physical injection ceiling: one flit per cycle per
 	// node for synthetic rates; for apps, the speed at which the busiest

@@ -297,13 +297,21 @@ func (n *Network) returnCredit(credTarget int32, credVC int8) {
 // are pruned from the active set, as are drained sources.
 func (n *Network) computeBand(b *band, cycle int64) {
 	routers := n.routers
+	// gated is false on homogeneous meshes, keeping the island check out
+	// of the hot path; stalled nodes skip every stage (and injection) but
+	// stay in the active sets until they run again.
+	gated := n.islandOf != nil
 	for w, word := range b.rcWords {
 		if word == 0 {
 			continue
 		}
 		base := b.lo + w*64
 		for ; word != 0; word &= word - 1 {
-			routers[base+bits.TrailingZeros64(word)].stageRC(cycle)
+			id := base + bits.TrailingZeros64(word)
+			if gated && n.nodeStalled(id) {
+				continue
+			}
+			routers[id].stageRC(cycle)
 		}
 	}
 	for w, word := range b.vaWords {
@@ -312,7 +320,11 @@ func (n *Network) computeBand(b *band, cycle int64) {
 		}
 		base := b.lo + w*64
 		for ; word != 0; word &= word - 1 {
-			routers[base+bits.TrailingZeros64(word)].stageVA(cycle)
+			id := base + bits.TrailingZeros64(word)
+			if gated && n.nodeStalled(id) {
+				continue
+			}
+			routers[id].stageVA(cycle)
 		}
 	}
 	// A router can only run out of work during its SA pass (flits leave
@@ -325,6 +337,9 @@ func (n *Network) computeBand(b *band, cycle int64) {
 		base := b.lo + w*64
 		for ; word != 0; word &= word - 1 {
 			k := bits.TrailingZeros64(word)
+			if gated && n.nodeStalled(base+k) {
+				continue
+			}
 			r := &routers[base+k]
 			r.stageSA(cycle)
 			if !r.hasWork() {
@@ -342,6 +357,9 @@ func (n *Network) computeBand(b *band, cycle int64) {
 		base := b.lo + w*64
 		for ; word != 0; word &= word - 1 {
 			k := bits.TrailingZeros64(word)
+			if gated && n.nodeStalled(base+k) {
+				continue
+			}
 			s := sources[base+k]
 			s.step(cycle, &n.cfg)
 			if !s.hasWork() {

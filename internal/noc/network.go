@@ -63,6 +63,21 @@ type Network struct {
 	// traversal path pays one load instead of four scattered ones.
 	links []linkInfo
 
+	// faults lists the directed channels masked out of the link table, and
+	// routeTable (nodes×nodes next-hop ports, non-nil only with faults)
+	// replaces algorithmic route computation on faulted meshes. See
+	// fault.go.
+	faults     []Link
+	routeTable []int8
+
+	// Per-region V/F island state (see island.go): islandOf maps node id
+	// to island index (-1 for none); islandAcc/islandRun are the
+	// per-island fractional clock accumulators and this-cycle run flags.
+	islands   []Island
+	islandOf  []int16
+	islandAcc []float64
+	islandRun []bool
+
 	// bands partition the node id space; band workers 1..W-1 run on
 	// persistent goroutines fed by phaseCh, with phaseWG as the per-phase
 	// barrier and workerWG tracking goroutine lifetime for Close.
@@ -102,8 +117,20 @@ type Network struct {
 // SetStepWorkers to shard the mesh, and Close to stop the worker group
 // when done (a no-op for the serial default).
 func NewNetwork(cfg Config) (*Network, error) {
+	return NewNetworkWithFaults(cfg, nil)
+}
+
+// NewNetworkWithFaults builds a mesh with the given directed channels
+// masked out of the link table and a fault-aware minimal route table
+// installed in place of algorithmic routing (see fault.go). It returns
+// an error if any fault is malformed or the surviving channels leave any
+// node pair disconnected. An empty fault list is exactly NewNetwork.
+func NewNetworkWithFaults(cfg Config, faults []Link) (*Network, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, fmt.Errorf("noc: invalid config: %w", err)
+	}
+	if err := validateFaults(cfg, faults); err != nil {
+		return nil, err
 	}
 	n := &Network{cfg: cfg}
 	nodes := cfg.Nodes()
@@ -168,6 +195,14 @@ func NewNetwork(cfg Config) (*Network, error) {
 			}
 		}
 		n.sources[id] = newSource(NodeID(id), r, &cfg)
+	}
+
+	if len(faults) > 0 {
+		n.faults = append([]Link(nil), faults...)
+		n.maskFaults(n.faults)
+		if err := n.buildRouteTable(); err != nil {
+			return nil, err
+		}
 	}
 
 	n.buildBands(1)
@@ -307,6 +342,9 @@ func (n *Network) NewPacket(src, dst NodeID, nowNs float64, dimOrder uint8) *Pac
 // clock advances and nothing else runs.
 func (n *Network) Step() {
 	n.cycle++
+	if n.islandRun != nil {
+		n.advanceIslands()
+	}
 	if !n.fullStep && n.Quiescent() {
 		return
 	}
@@ -350,13 +388,22 @@ func (n *Network) Step() {
 
 	if n.fullStep {
 		// Naive reference loop: serial router-major over everything.
+		// Island gating mirrors computeBand exactly: stalled nodes still
+		// receive deliveries but run no pipeline stage or injection.
 		for _, b := range n.bands {
 			n.deliverBand(b)
 		}
+		gated := n.islandOf != nil
 		for id := range n.routers {
+			if gated && n.nodeStalled(id) {
+				continue
+			}
 			n.routers[id].step(cycle)
 		}
-		for _, s := range n.sources {
+		for id, s := range n.sources {
+			if gated && n.nodeStalled(id) {
+				continue
+			}
 			s.step(cycle, &n.cfg)
 		}
 		return

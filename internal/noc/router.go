@@ -203,7 +203,7 @@ func (r *Router) commitArrival(p Port, vc int, cycle int64) {
 
 // stageRC performs route computation for all input VCs that are ready.
 func (r *Router) stageRC(cycle int64) {
-	cfg := &r.net.cfg
+	net := r.net
 	for p := 0; p < NumPorts; p++ {
 		m := r.routingMask[p]
 		if m == 0 {
@@ -218,7 +218,7 @@ func (r *Router) stageRC(cycle int64) {
 				continue
 			}
 			head := r.bufs[i*r.depth+int(st.bufHead)]
-			st.port = int8(RoutePort(cfg, r.id, head.Packet))
+			st.port = int8(net.routePort(r.id, head.Packet))
 			st.stage = vcWaitVC
 			st.ready = cycle + 1
 			r.nRouting--

@@ -44,6 +44,14 @@ type Params struct {
 	// Power, when non-nil, enables energy accounting.
 	Power *power.Model
 
+	// Faults lists directed mesh channels masked out of the fabric; the
+	// network installs a fault-aware minimal route table for them (see
+	// noc.NewNetworkWithFaults).
+	Faults []noc.Link
+	// Islands are per-region V/F clock dividers layered under the global
+	// DVFS frequency (see noc.SetIslands).
+	Islands []noc.Island
+
 	// FNode is the node clock frequency in Hz (default 1 GHz, the paper's
 	// Fnode = Fmax).
 	FNode float64
@@ -220,8 +228,11 @@ func RunContext(ctx context.Context, p Params) (Result, error) {
 	if err := p.validate(); err != nil {
 		return Result{}, err
 	}
-	net, err := noc.NewNetwork(p.Noc)
+	net, err := noc.NewNetworkWithFaults(p.Noc, p.Faults)
 	if err != nil {
+		return Result{}, err
+	}
+	if err := net.SetIslands(p.Islands); err != nil {
 		return Result{}, err
 	}
 	if p.disableSkipAhead {

@@ -61,7 +61,7 @@ func (o *Options) baseScenario() nocsim.Scenario {
 // sweep that Figs. 2, 4, 6 and the summary table all present views of.
 func Figures() []string {
 	return []string{"baseline", "fig7", "fig8", "fig10", "pi",
-		"period", "gains", "levels", "routing", "breakdown"}
+		"period", "gains", "levels", "routing", "breakdown", "burst"}
 }
 
 // ResolveFigures expands a comma-separated -fig list into manifest
@@ -144,6 +144,8 @@ func Plan(ctx context.Context, fig string, o Options) (*manifest.Manifest, error
 		panels, err = o.planRouting(ctx)
 	case "breakdown":
 		panels, err = o.planBreakdown(ctx)
+	case "burst":
+		panels, err = o.planBurst(ctx)
 	default:
 		return nil, fmt.Errorf("sweep: unknown figure %q (want one of %v)", fig, Figures())
 	}
@@ -181,6 +183,8 @@ func Render(m *manifest.Manifest, results []nocsim.Result) ([]Table, error) {
 		return renderRouting(m, results), nil
 	case "breakdown":
 		return renderBreakdown(m, results), nil
+	case "burst":
+		return renderBurst(m, results), nil
 	default:
 		return nil, fmt.Errorf("sweep: unknown figure %q", m.Name)
 	}
@@ -595,6 +599,71 @@ func comparisonTables(figID, label string, g nocsim.Grid, results []nocsim.Resul
 			ratio(dm[mid].AvgPowerMW, rm[mid].AvgPowerMW)))
 	}
 	return []Table{del, pow}
+}
+
+// burstSpecs parameterize the beyond-paper arrival-process panels: the
+// same mean load redistributed into geometric (MMPP) and heavy-tailed
+// (Pareto) burst trains.
+var burstSpecs = map[string]*nocsim.SourceSpec{
+	"poisson": nil,
+	"mmpp":    {Kind: nocsim.SourceMMPP, BurstRatio: 4, BurstLen: 64},
+	"pareto":  {Kind: nocsim.SourcePareto, BurstRatio: 4, BurstLen: 64, ParetoAlpha: 1.5},
+}
+
+// planBurst builds the beyond-paper workload study: the baseline
+// three-policy comparison repeated under Poisson, MMPP and Pareto on-off
+// arrivals. All panels deliberately share the Poisson panel's calibration
+// and load axis — the question the figure answers is how the same
+// calibrated controllers fare when the same offered load arrives in
+// bursts, so operating points must not move between panels.
+func (o *Options) planBurst(ctx context.Context) ([]manifest.Panel, error) {
+	g, err := o.resolveComparison(ctx, o.baseScenario(), nocsim.AllPolicies(), o.nearSaturationLoads)
+	if err != nil {
+		return nil, err
+	}
+	labels := []string{"poisson", "mmpp", "pareto"}
+	panels := make([]manifest.Panel, len(labels))
+	for i, label := range labels {
+		pg := g
+		pg.Base.Source = burstSpecs[label]
+		panels[i] = manifest.Panel{Label: label, Grid: pg}
+	}
+	return panels, nil
+}
+
+// BurstStudy renders the beyond-paper arrival-process panels: delay and
+// power under Poisson, MMPP and Pareto on-off arrivals, plus the direct
+// MMPP-vs-Poisson delay comparison EXPERIMENTS.md embeds.
+func BurstStudy(ctx context.Context, o Options) ([]Table, error) { return Tables(ctx, "burst", o) }
+
+func renderBurst(m *manifest.Manifest, results []nocsim.Result) []Table {
+	off := m.Offsets()
+	var tables []Table
+	panelRes := make([][]nocsim.Result, len(m.Panels))
+	for pi, panel := range m.Panels {
+		panelRes[pi] = results[off[pi]:off[pi+1]]
+		tables = append(tables, comparisonTables(m.Name, panel.Label, panel.Grid, panelRes[pi])...)
+	}
+	g := m.Panels[0].Grid
+	cmp := Table{
+		ID:    "burst_compare",
+		Title: "Packet delay (ns): Poisson vs MMPP arrivals, same loads and calibration",
+		Columns: []string{"rate", "poisson_nodvfs_delay_ns", "mmpp_nodvfs_delay_ns",
+			"poisson_rmsd_delay_ns", "mmpp_rmsd_delay_ns",
+			"poisson_dmsd_delay_ns", "mmpp_dmsd_delay_ns"},
+		Notes: []string{calNote(*g.Base.Calibration),
+			"beyond-paper workload: MMPP burst ratio 4, mean ON burst 64 cycles — identical mean load, burstier arrivals"},
+	}
+	pc := curves(g, panelRes[0])
+	mc := curves(m.Panels[1].Grid, panelRes[1])
+	for i, load := range g.Loads {
+		cmp.AddRow(load,
+			pc[0][i].AvgDelayNs, mc[0][i].AvgDelayNs,
+			pc[1][i].AvgDelayNs, mc[1][i].AvgDelayNs,
+			pc[2][i].AvgDelayNs, mc[2][i].AvgDelayNs)
+	}
+	tables = append(tables, cmp)
+	return tables
 }
 
 // PIStep renders the DMSD transient: the frequency and window-delay trace

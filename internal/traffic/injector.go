@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"repro/internal/noc"
+	"repro/internal/trace"
 )
 
 // Injector drives packet generation for every node of a network. It lives
@@ -28,6 +29,19 @@ type Injector struct {
 	generatedFlits int64
 	// o1turn notes whether destinations need a random dimension order.
 	o1turn bool
+
+	// cycle counts node cycles stepped so far (the injection timeline of
+	// captured traces).
+	cycle int64
+	// burst, when non-nil, modulates every source with an on-off state
+	// machine (MMPP or Pareto; see source.go).
+	burst *burstState
+	// capture, when non-nil, records every generated packet as an
+	// injection-trace event.
+	capture *trace.Injection
+	// replay, when non-nil, re-injects recorded events instead of
+	// generating packets.
+	replay *replayState
 }
 
 // NewInjector builds an injector offering rate flits per node per node
@@ -90,23 +104,46 @@ func (inj *Injector) MeanRate() float64 {
 // node, queueing new packets on net. nowNs is the current simulated time
 // used to timestamp packets.
 func (inj *Injector) NodeCycle(net *noc.Network, nowNs float64) {
-	for s := range inj.probs {
-		p := inj.probs[s]
-		if p == 0 {
-			continue
+	c := inj.cycle
+	inj.cycle++
+	switch {
+	case inj.replay != nil:
+		inj.replayCycle(net, nowNs, c)
+	case inj.burst != nil:
+		inj.burstCycle(net, nowNs, c)
+	default:
+		for s := range inj.probs {
+			p := inj.probs[s]
+			if p == 0 {
+				continue
+			}
+			rng := inj.rngs[s]
+			if rng.Float64() >= p {
+				continue
+			}
+			inj.emit(net, nowNs, c, noc.NodeID(s), rng)
 		}
-		rng := inj.rngs[s]
-		if rng.Float64() >= p {
-			continue
-		}
-		src := noc.NodeID(s)
-		dst := inj.pattern.Dest(src, rng)
-		var dim uint8
-		if inj.o1turn {
-			dim = uint8(rng.Intn(2))
-		}
-		net.NewPacket(src, dst, nowNs, dim)
-		inj.generatedFlits += int64(inj.cfg.PacketSize)
+	}
+	if inj.capture != nil {
+		inj.capture.Cycles = inj.cycle
+	}
+}
+
+// emit generates one packet at src, drawing the destination (and O1TURN
+// dimension) from the node's RNG, and records it when a capture sink is
+// attached.
+func (inj *Injector) emit(net *noc.Network, nowNs float64, cycle int64, src noc.NodeID, rng *rand.Rand) {
+	dst := inj.pattern.Dest(src, rng)
+	var dim uint8
+	if inj.o1turn {
+		dim = uint8(rng.Intn(2))
+	}
+	net.NewPacket(src, dst, nowNs, dim)
+	inj.generatedFlits += int64(inj.cfg.PacketSize)
+	if inj.capture != nil {
+		inj.capture.Events = append(inj.capture.Events, trace.InjectionEvent{
+			Cycle: cycle, Src: src, Dst: dst, Dim: dim,
+		})
 	}
 }
 

@@ -248,6 +248,14 @@ func Matrix(p Pattern, cfg noc.Config) [][]float64 {
 			} else {
 				m[s][d] = 1
 			}
+		case *MatrixPattern:
+			// Expand the stored cumulative distribution exactly; silent
+			// sources keep an all-zero row (they inject at rate 0).
+			prev := 0.0
+			for i, c := range pt.cum[s] {
+				m[s][pt.dst[s][i]] = c - prev
+				prev = c
+			}
 		case Hotspot:
 			if noc.NodeID(s) != pt.hot {
 				m[s][pt.hot] += pt.fraction

@@ -1,0 +1,269 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/noc"
+	"repro/internal/trace"
+)
+
+// Source kinds recognized by SourceConfig. The empty kind is the plain
+// Bernoulli (Poisson-like) process the paper uses everywhere.
+const (
+	// SourceMMPP is a two-state Markov-modulated process: each source
+	// alternates between an OFF state (rate 0) and an ON state (rate
+	// BurstRatio times the nominal rate), with geometrically distributed
+	// sojourn times. The stationary ON fraction is 1/BurstRatio, so the
+	// long-run mean rate stays exactly the scenario's load.
+	SourceMMPP = "mmpp"
+	// SourcePareto is the same on-off alternation with Pareto-tailed
+	// sojourn times (tail index ParetoAlpha in (1,2]), producing
+	// self-similar burst trains with the same mean sojourns as the MMPP
+	// source.
+	SourcePareto = "pareto"
+)
+
+// SourceConfig selects and parameterizes a bursty packet-generation
+// process layered under a destination pattern. The zero value means the
+// default Bernoulli process.
+type SourceConfig struct {
+	// Kind is "" (Bernoulli), SourceMMPP or SourcePareto.
+	Kind string
+	// BurstRatio is the ON-state rate multiplier β > 1; the source is ON
+	// a 1/β fraction of the time, preserving the mean rate.
+	BurstRatio float64
+	// BurstLen is the mean ON sojourn in node cycles (≥ 1). The mean OFF
+	// sojourn is BurstLen·(BurstRatio−1), fixing the ON fraction at 1/β.
+	BurstLen float64
+	// ParetoAlpha is the Pareto tail index in (1, 2] (heavier tails as it
+	// approaches 1); used only by SourcePareto.
+	ParetoAlpha float64
+}
+
+// Validate checks the parameter ranges; the zero value is valid.
+func (s SourceConfig) Validate() error {
+	switch s.Kind {
+	case "":
+		return nil
+	case SourceMMPP, SourcePareto:
+	default:
+		return fmt.Errorf("traffic: unknown source kind %q", s.Kind)
+	}
+	if !(s.BurstRatio > 1) {
+		return fmt.Errorf("traffic: burst ratio %g must exceed 1", s.BurstRatio)
+	}
+	if !(s.BurstLen >= 1) {
+		return fmt.Errorf("traffic: burst length %g must be at least 1 cycle", s.BurstLen)
+	}
+	if s.Kind == SourcePareto && !(s.ParetoAlpha > 1 && s.ParetoAlpha <= 2) {
+		return fmt.Errorf("traffic: pareto alpha %g outside (1, 2]", s.ParetoAlpha)
+	}
+	return nil
+}
+
+// burstState is the per-node on-off modulation state.
+type burstState struct {
+	cfg SourceConfig
+	// on[s] reports whether source s is in its ON state.
+	on []bool
+	// left[s] is the number of node cycles remaining in s's sojourn.
+	left []int64
+}
+
+// offLen returns the mean OFF sojourn in cycles.
+func (b *burstState) offLen() float64 { return b.cfg.BurstLen * (b.cfg.BurstRatio - 1) }
+
+// sojourn draws the next sojourn length (≥ 1 cycle) for the given state.
+func (b *burstState) sojourn(on bool, rng *rand.Rand) int64 {
+	mean := b.cfg.BurstLen
+	if !on {
+		mean = b.offLen()
+	}
+	if b.cfg.Kind == SourcePareto {
+		// Pareto with scale xm = mean·(α−1)/α has mean exactly `mean`.
+		alpha := b.cfg.ParetoAlpha
+		xm := mean * (alpha - 1) / alpha
+		u := 1 - rng.Float64() // (0, 1]
+		d := int64(xm/math.Pow(u, 1/alpha) + 0.5)
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+	// Geometric with success probability 1/mean has mean `mean`.
+	p := 1 / mean
+	if p >= 1 {
+		return 1
+	}
+	u := 1 - rng.Float64() // (0, 1]
+	d := int64(math.Floor(math.Log(u)/math.Log(1-p))) + 1
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// SetSource configures the injector's per-node on-off modulation. It
+// must be called before the first NodeCycle; each node is started in its
+// stationary state (ON with probability 1/β) using the node's own RNG,
+// so a sweep stays deterministic for any worker count.
+func (inj *Injector) SetSource(src SourceConfig) error {
+	if err := src.Validate(); err != nil {
+		return err
+	}
+	if src.Kind == "" {
+		inj.burst = nil
+		return nil
+	}
+	if inj.replay != nil {
+		return fmt.Errorf("traffic: trace replay cannot be combined with a %s source", src.Kind)
+	}
+	for i, p := range inj.probs {
+		if p*src.BurstRatio > 1 {
+			return fmt.Errorf("traffic: node %d ON rate %g exceeds one packet per cycle (burst ratio %g)",
+				i, inj.rates[i]*src.BurstRatio, src.BurstRatio)
+		}
+	}
+	b := &burstState{
+		cfg:  src,
+		on:   make([]bool, len(inj.probs)),
+		left: make([]int64, len(inj.probs)),
+	}
+	for i := range inj.probs {
+		if inj.probs[i] == 0 {
+			continue
+		}
+		rng := inj.rngs[i]
+		b.on[i] = rng.Float64() < 1/src.BurstRatio
+		b.left[i] = b.sojourn(b.on[i], rng)
+	}
+	inj.burst = b
+	return nil
+}
+
+// Source returns the injector's source configuration (zero value for
+// plain Bernoulli sources).
+func (inj *Injector) Source() SourceConfig {
+	if inj.burst == nil {
+		return SourceConfig{}
+	}
+	return inj.burst.cfg
+}
+
+// burstCycle is NodeCycle for on-off modulated sources: advance every
+// active node's state machine, then trial at the ON rate while ON.
+func (inj *Injector) burstCycle(net *noc.Network, nowNs float64, cycle int64) {
+	b := inj.burst
+	beta := b.cfg.BurstRatio
+	for s := range inj.probs {
+		p := inj.probs[s]
+		if p == 0 {
+			continue
+		}
+		rng := inj.rngs[s]
+		b.left[s]--
+		if b.left[s] <= 0 {
+			b.on[s] = !b.on[s]
+			b.left[s] = b.sojourn(b.on[s], rng)
+		}
+		if !b.on[s] {
+			continue
+		}
+		if rng.Float64() >= p*beta {
+			continue
+		}
+		inj.emit(net, nowNs, cycle, noc.NodeID(s), rng)
+	}
+}
+
+// OnFraction returns the fraction of active nodes currently in the ON
+// state (1 for Bernoulli sources); exposed for tests.
+func (inj *Injector) OnFraction() float64 {
+	if inj.burst == nil {
+		return 1
+	}
+	active, on := 0, 0
+	for s := range inj.probs {
+		if inj.probs[s] == 0 {
+			continue
+		}
+		active++
+		if inj.burst.on[s] {
+			on++
+		}
+	}
+	if active == 0 {
+		return 1
+	}
+	return float64(on) / float64(active)
+}
+
+// StartCapture attaches an injection-trace sink: every generated packet
+// is recorded as a trace event, and the trace header is stamped with the
+// injector's mesh shape and packet size. The same sink must not be
+// shared across concurrent runs.
+func (inj *Injector) StartCapture(t *trace.Injection) {
+	t.Width = inj.cfg.Width
+	t.Height = inj.cfg.Height
+	t.PacketSize = inj.cfg.PacketSize
+	t.Cycles = 0
+	t.Events = t.Events[:0]
+	inj.capture = t
+}
+
+// replayState holds a trace being replayed.
+type replayState struct {
+	events []trace.InjectionEvent
+	pos    int
+}
+
+// NewReplayInjector builds an injector that re-injects the recorded
+// events of tr at their recorded node cycles, in recorded order — no
+// randomness is consumed, so a replay is bit-identical to its capture
+// run. Runs longer than the trace simply stop injecting when the events
+// are exhausted. Per-node rates and the destination pattern are derived
+// from the trace so rate monitors and capacity estimates keep working.
+func NewReplayInjector(cfg noc.Config, tr *trace.Injection) (*Injector, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("traffic: nil injection trace")
+	}
+	if err := tr.Validate(cfg); err != nil {
+		return nil, err
+	}
+	m := tr.Matrix()
+	pattern, err := NewMatrixPattern("trace", cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	rates := make([]float64, cfg.Nodes())
+	for _, e := range tr.Events {
+		rates[e.Src] += float64(cfg.PacketSize)
+	}
+	for i := range rates {
+		rates[i] /= float64(tr.Cycles)
+	}
+	inj := &Injector{
+		cfg:     cfg,
+		pattern: pattern,
+		rates:   rates,
+		probs:   make([]float64, cfg.Nodes()),
+		replay:  &replayState{events: tr.Events},
+	}
+	return inj, nil
+}
+
+// Replaying reports whether the injector replays a recorded trace.
+func (inj *Injector) Replaying() bool { return inj.replay != nil }
+
+// replayCycle is NodeCycle for trace replay.
+func (inj *Injector) replayCycle(net *noc.Network, nowNs float64, cycle int64) {
+	r := inj.replay
+	for r.pos < len(r.events) && r.events[r.pos].Cycle == cycle {
+		e := r.events[r.pos]
+		r.pos++
+		net.NewPacket(e.Src, e.Dst, nowNs, e.Dim)
+		inj.generatedFlits += int64(inj.cfg.PacketSize)
+	}
+}

@@ -65,6 +65,160 @@
 // in their results; pin them with WithCalibration to skip the search —
 // in particular before shipping Grid points to remote workers.
 //
+// # Beyond-paper workloads
+//
+// Three scenario families extend the paper's Poisson-only evaluation
+// (the README's scenario cookbook walks through each with runnable
+// commands):
+//
+//   - Trace replay: WithTraceCapture records every injection of a run
+//     into a Trace; Trace.Save writes it as JSON, and WithTrace replays
+//     the file bit-identically — replay consumes no randomness, so the
+//     network evolution reproduces the capture run exactly.
+//   - Bursty sources: WithMMPP and WithParetoOnOff layer an on-off
+//     modulation under any synthetic pattern. The long-run mean rate
+//     stays exactly the scenario's Load; burstiness only redistributes
+//     the same traffic in time.
+//   - Heterogeneous meshes: non-square dimensions (WithMesh accepts any
+//     width × height ≥ 2), masked faulty channels routed around by a
+//     fault-aware minimal table (WithFaultyLinks), and rectangular V/F
+//     islands running at a fraction of the network clock (WithIslands).
+//
+// # JSON wire form
+//
+// Scenario marshals losslessly to JSON; a partial hand-written document
+// is completed by Normalized and checked by Validate (Run, Sweep and the
+// CLIs do both). The reference below lists every wire field with its
+// default, its validation rule, and the cmd/nocsim flag that sets it
+// ("—" when only the API or a JSON file can).
+//
+// Fabric (object "mesh"):
+//
+//	mesh.width, mesh.height   int     default 5x5 as a pair (an app scenario
+//	                                  defaults to the mesh its graph is mapped
+//	                                  on). Naming only one of the two is
+//	                                  rejected; both must be ≥ 2. Any
+//	                                  rectangle is legal — meshes need not be
+//	                                  square. Flags -width, -height.
+//	mesh.vcs                  int     virtual channels per input port;
+//	                                  default 8, must be ≥ 1. Flag -vcs.
+//	mesh.buf_depth            int     flit slots per VC buffer; default 4,
+//	                                  must be ≥ 1. Flag -buffers.
+//	mesh.packet_size          int     packet length in flits; default 20,
+//	                                  must be ≥ 1. Flag -packet.
+//	mesh.routing              string  "xy" (default), "yx" or "o1turn".
+//	                                  Flag -routing.
+//
+// Traffic — exactly one of pattern, app and trace:
+//
+//	pattern       string   synthetic pattern: "uniform" (default when app
+//	                       and trace are empty), "tornado", "bitcomp",
+//	                       "transpose", "neighbor", "bitrev", "shuffle".
+//	                       Some patterns constrain the mesh (e.g.
+//	                       "transpose" needs width == height); the pattern
+//	                       constructor's error is reported by Validate.
+//	                       Flag -pattern.
+//	app           string   multimedia workload "h264" or "vce"; the mesh
+//	                       must match the app's mapping (4x4 for h264,
+//	                       5x5 for vce). Flag -app.
+//	peak_rate     float    busiest-node injection rate at app speed 1.0;
+//	                       default 0.40, must be ≥ 0. Flag —.
+//	trace         string   path of a recorded injection trace to replay
+//	                       (captured with WithTraceCapture / the
+//	                       -capture-trace flag and saved with Trace.Save).
+//	                       Excludes pattern, app and source; RMSD/DMSD
+//	                       trace scenarios must pin a calibration (the
+//	                       saturation search varies load, which a fixed
+//	                       trace ignores). The file is read at Run time,
+//	                       not at validation. Flag -trace.
+//	source        object   bursty generation process layered under the
+//	                       pattern (patterns only — not apps or traces):
+//	                       source.kind          "mmpp" or "pareto" (required)
+//	                       source.burst_ratio   ON-rate multiplier β > 1,
+//	                                            default 4
+//	                       source.burst_len     mean ON sojourn in node
+//	                                            cycles ≥ 1, default 64
+//	                       source.pareto_alpha  sojourn tail index in (1, 2],
+//	                                            default 1.5 (pareto only)
+//	                       The ON rate β × load must stay below one packet
+//	                       per node cycle, checked when the injector is
+//	                       built. Flags -source, -burst-ratio, -burst-len,
+//	                       -pareto-alpha.
+//
+// Heterogeneity:
+//
+//	faulty_links  []string directed channels masked out of the fabric,
+//	                       each "from>to" with from/to the node ids of
+//	                       adjacent routers (mask both directions for a
+//	                       fully dead wire). Routing around faults needs a
+//	                       deterministic table, so "o1turn" is rejected; a
+//	                       fault set that disconnects the mesh fails at
+//	                       Run time. Flag -faulty-links (comma-separated).
+//	islands       []object rectangular V/F islands, later entries winning
+//	                       on overlap:
+//	                       x0, y0, x1, y1  inclusive corners, inside the
+//	                                       mesh with x0 ≤ x1, y0 ≤ y1
+//	                       speed           clock fraction in (0, 1]
+//	                       Flag -islands ("x0,y0,x1,y1@speed;...").
+//
+// Operating point:
+//
+//	load          float    injection rate in flits/node/node-cycle for
+//	                       patterns, relative speed (1.0 ≡ 75 frames/s)
+//	                       for apps; default 0.2, must be > 0. Ignored by
+//	                       trace replay (the trace fixes the load).
+//	                       Flags -rate, -speed.
+//	policy        string   "nodvfs" (default), "rmsd" or "dmsd".
+//	                       Flag -policy.
+//	calibration   object   pinned policy operating points; omitted → Run
+//	                       calibrates automatically and records the result:
+//	                       calibration.saturation_rate  measured saturation
+//	                                                    in flits/node/cycle
+//	                       calibration.lambda_max       RMSD target rate,
+//	                                                    > 0 when policy is
+//	                                                    rmsd
+//	                       calibration.target_delay_ns  DMSD setpoint, > 0
+//	                                                    when policy is dmsd
+//	                       Flags -lambda-max, -target (partial fill).
+//
+// Clocks:
+//
+//	fnode_hz      float    node clock in Hz; default 1e9, must be > 0.
+//	                       Flag —.
+//	fmin_hz       float    DVFS actuation floor; default 333e6, must be
+//	                       > 0. Flag —.
+//	fmax_hz       float    DVFS actuation ceiling; default 1e9, must be
+//	                       ≥ fmin_hz. Flag —.
+//
+// Controller details:
+//
+//	control_period int     DVFS update period in node cycles; 0 (default)
+//	                       = the paper's 10 000, or the shortened Quick
+//	                       period; must be ≥ 0. Flag —.
+//	ki, kp         float   DMSD PI gains; 0 = the paper's published
+//	                       values; must be ≥ 0. Flag —.
+//	freq_levels    int     discrete frequency levels; 0 (default) =
+//	                       continuous actuation, otherwise ≥ 2. Flag —.
+//	transient      bool    capture the cold-start transient instead of the
+//	                       steady state (per-period trace in the Result).
+//	                       Flag —.
+//
+// Execution:
+//
+//	seed          int      root RNG seed; default 1. Flag -seed.
+//	quick         bool     shrink warmup/measurement windows ~4x.
+//	                       Flag -quick.
+//	workers       int      concurrent points in Sweep/Calibrate (0 =
+//	                       GOMAXPROCS, 1 = serial); must be ≥ 0; results
+//	                       are identical for every value. Flag —.
+//	step_workers  int      engine threads per simulation (0 = process
+//	                       default, 1 = serial); must be ≥ 0; results are
+//	                       bit-identical for every value. Flag —.
+//
+// Runtime attachments (a PacketLog from WithPacketLog, a Trace sink from
+// WithTraceCapture) are deliberately not part of the wire form: they do
+// not survive JSON marshalling, and they force sweeps to run serially.
+//
 // The nocsim/manifest subpackage builds on Grid: a Manifest bundles
 // resolved grids into one globally indexed list of points with a
 // crash-safe on-disk journal — the shared job layer behind restartable

@@ -71,3 +71,42 @@ func (l *PacketLog) WriteCSV(w io.Writer) error { return l.log.WriteCSV(w) }
 // WriteFlowsCSV writes one row per source-destination flow, aggregated
 // over the recorded packets.
 func (l *PacketLog) WriteFlowsCSV(w io.Writer) error { return l.log.WriteFlowsCSV(w) }
+
+// Trace is a recorded injection trace: every packet a run generated,
+// with its injection cycle, source, destination and (under o1turn
+// routing) the dimension order it drew. Capture one with
+// WithTraceCapture, persist it with Save or WriteJSON, and replay it
+// bit-identically with WithTrace. Like PacketLog it is a runtime
+// object, not part of the scenario wire form.
+type Trace struct {
+	inj trace.Injection
+}
+
+// NewTrace returns an empty trace sink for WithTraceCapture.
+func NewTrace() *Trace { return &Trace{} }
+
+// Len returns the number of recorded injection events (packets).
+func (t *Trace) Len() int { return len(t.inj.Events) }
+
+// Cycles returns the recorded run length in node cycles.
+func (t *Trace) Cycles() int64 { return t.inj.Cycles }
+
+// MeanRate returns the trace's mean injection rate in flits per node
+// per node cycle.
+func (t *Trace) MeanRate() float64 { return t.inj.MeanRate() }
+
+// WriteJSON writes the trace wire form.
+func (t *Trace) WriteJSON(w io.Writer) error { return t.inj.WriteJSON(w) }
+
+// Save writes the trace to path — the file WithTrace replays.
+func (t *Trace) Save(path string) error { return trace.SaveInjection(path, &t.inj) }
+
+// LoadTrace reads a trace file saved with Save, for inspection; Run
+// loads trace files itself from Scenario.TraceRef.
+func LoadTrace(path string) (*Trace, error) {
+	tr, err := trace.LoadInjection(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{inj: *tr}, nil
+}

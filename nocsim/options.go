@@ -201,3 +201,82 @@ func WithStepWorkers(n int) Option {
 func WithPacketLog(l *PacketLog) Option {
 	return func(s *Scenario) error { s.packetLog = l; return nil }
 }
+
+// WithTrace replays the recorded injection trace in the file at ref
+// instead of generating traffic, clearing any pattern, app or bursty
+// source. Replay consumes no randomness, so it reproduces the capture
+// run bit for bit; runs longer than the trace stop injecting when the
+// recorded events are exhausted. RMSD and DMSD scenarios must carry a
+// pinned calibration (the calibration search varies load, which a
+// fixed trace ignores). The file is read when the scenario runs.
+func WithTrace(ref string) Option {
+	return func(s *Scenario) error {
+		if ref == "" {
+			return fmt.Errorf("nocsim: empty trace reference")
+		}
+		s.TraceRef = ref
+		s.Pattern, s.App, s.Source = "", "", nil
+		return nil
+	}
+}
+
+// WithTraceCapture records every packet the run generates into t as
+// injection-trace events; save the result with Trace.Save and replay
+// it with WithTrace. The sink is a runtime attachment — it does not
+// survive JSON marshalling — and forces sweeps and calibration probes
+// to run serially; the sink then holds the events of the last run that
+// used it (the main measurement run, for Run with auto-calibration).
+func WithTraceCapture(t *Trace) Option {
+	return func(s *Scenario) error { s.traceCapture = t; return nil }
+}
+
+// WithMMPP layers a two-state Markov-modulated source under the
+// scenario's synthetic pattern: each node alternates between OFF (no
+// injection) and ON at burstRatio times its nominal rate, with
+// geometric sojourns of mean burstLen cycles ON and
+// burstLen·(burstRatio−1) cycles OFF. The long-run mean rate stays
+// exactly the scenario's load; pass 0 for either parameter to use its
+// default (ratio 4, length 64).
+func WithMMPP(burstRatio, burstLen float64) Option {
+	return func(s *Scenario) error {
+		sp := SourceSpec{Kind: SourceMMPP, BurstRatio: burstRatio, BurstLen: burstLen}
+		s.Source = sp.withDefaults()
+		return nil
+	}
+}
+
+// WithParetoOnOff layers an on-off source with Pareto-tailed sojourn
+// times (tail index alpha in (1, 2], heavier tails as it approaches 1)
+// under the scenario's synthetic pattern, producing self-similar burst
+// trains with the same mean sojourns as WithMMPP. Pass 0 for any
+// parameter to use its default (ratio 4, length 64, alpha 1.5).
+func WithParetoOnOff(burstRatio, burstLen, alpha float64) Option {
+	return func(s *Scenario) error {
+		sp := SourceSpec{Kind: SourcePareto, BurstRatio: burstRatio, BurstLen: burstLen, ParetoAlpha: alpha}
+		s.Source = sp.withDefaults()
+		return nil
+	}
+}
+
+// WithFaultyLinks masks the named directed mesh channels out of the
+// fabric, each in the "from>to" form (ids of adjacent routers; mask
+// both directions for a fully dead wire). The network routes around
+// faults with a minimal fault-aware table; o1turn routing is rejected,
+// and a fault set that disconnects the mesh fails at Run time.
+func WithFaultyLinks(links ...string) Option {
+	return func(s *Scenario) error {
+		s.FaultyLinks = append([]string(nil), links...)
+		return nil
+	}
+}
+
+// WithIslands declares rectangular V/F islands: regions of routers
+// advancing only a Speed fraction of network cycles, layered under the
+// global DVFS frequency. Overlapping islands resolve in favour of the
+// later one listed.
+func WithIslands(islands ...Island) Option {
+	return func(s *Scenario) error {
+		s.Islands = append([]Island(nil), islands...)
+		return nil
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/noc"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 )
 
@@ -104,7 +105,16 @@ func TheoreticalCapacity(s Scenario) (float64, error) {
 		return 0, err
 	}
 	var m [][]float64
-	if s.App != "" {
+	if s.TraceRef != "" {
+		tr, err := trace.LoadInjection(s.TraceRef)
+		if err != nil {
+			return 0, err
+		}
+		if err := tr.Validate(cfg); err != nil {
+			return 0, err
+		}
+		m = tr.Matrix()
+	} else if s.App != "" {
 		app, err := appByName(s.App)
 		if err != nil {
 			return 0, err

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dvfs"
 	"repro/internal/noc"
+	"repro/internal/trace"
 	"repro/internal/traffic"
 	"repro/internal/volt"
 )
@@ -78,6 +79,86 @@ func (m Mesh) toNoc() (noc.Config, error) {
 	}, nil
 }
 
+// Source kinds accepted by SourceSpec and the -source CLI flag.
+const (
+	// SourceMMPP is a two-state Markov-modulated process: each source
+	// alternates between OFF (rate 0) and ON (rate BurstRatio × nominal)
+	// with geometric sojourn times, preserving the mean rate.
+	SourceMMPP = traffic.SourceMMPP
+	// SourcePareto is the same on-off alternation with Pareto-tailed
+	// sojourn times, producing self-similar burst trains.
+	SourcePareto = traffic.SourcePareto
+)
+
+// SourceSpec selects a bursty packet-generation process layered under a
+// synthetic destination pattern, replacing the default Bernoulli
+// (Poisson-like) process. The long-run mean rate is always the
+// scenario's Load: burstiness redistributes the same traffic in time, it
+// never adds traffic.
+type SourceSpec struct {
+	// Kind is SourceMMPP ("mmpp") or SourcePareto ("pareto").
+	Kind string `json:"kind"`
+	// BurstRatio is the ON-state rate multiplier β > 1. A source is ON a
+	// 1/β fraction of the time at β times the nominal rate (default 4).
+	BurstRatio float64 `json:"burst_ratio,omitempty"`
+	// BurstLen is the mean ON sojourn in node cycles, at least 1
+	// (default 64). The mean OFF sojourn is BurstLen·(β−1).
+	BurstLen float64 `json:"burst_len,omitempty"`
+	// ParetoAlpha is the Pareto tail index in (1, 2], heavier tails as
+	// it approaches 1 (default 1.5); used only by SourcePareto.
+	ParetoAlpha float64 `json:"pareto_alpha,omitempty"`
+}
+
+// withDefaults returns a copy of the spec with every zero parameter
+// replaced by its documented default (ratio 4, length 64, alpha 1.5);
+// the receiver is never mutated. A spec with an empty Kind is returned
+// unchanged: defaults only make sense once a process is selected.
+func (sp SourceSpec) withDefaults() *SourceSpec {
+	if sp.Kind == "" {
+		return &sp
+	}
+	if sp.BurstRatio == 0 {
+		sp.BurstRatio = 4
+	}
+	if sp.BurstLen == 0 {
+		sp.BurstLen = 64
+	}
+	if sp.Kind == SourcePareto && sp.ParetoAlpha == 0 {
+		sp.ParetoAlpha = 1.5
+	}
+	return &sp
+}
+
+// toTraffic converts the spec to the internal source configuration.
+func (sp *SourceSpec) toTraffic() traffic.SourceConfig {
+	if sp == nil {
+		return traffic.SourceConfig{}
+	}
+	return traffic.SourceConfig{
+		Kind: sp.Kind, BurstRatio: sp.BurstRatio,
+		BurstLen: sp.BurstLen, ParetoAlpha: sp.ParetoAlpha,
+	}
+}
+
+// Island is a rectangular region of routers running at a reduced clock:
+// the island's routers advance only a Speed fraction of network cycles,
+// layered under whatever global frequency the DVFS policy actuates.
+// Rectangles are inclusive of both corners; overlapping islands resolve
+// in favour of the later one in the scenario's list.
+type Island struct {
+	// X0, Y0 and X1, Y1 are the inclusive corner coordinates.
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+	// Speed is the island's clock divider in (0, 1]; 1 means full speed.
+	Speed float64 `json:"speed"`
+}
+
+func (i Island) toNoc() noc.Island {
+	return noc.Island{X0: i.X0, Y0: i.Y0, X1: i.X1, Y1: i.Y1, Speed: i.Speed}
+}
+
 // Calibration fixes the policy operating points of a scenario, following
 // the paper's recipe (Sec. III/IV): λmax 10% below the measured
 // saturation rate, and the DMSD setpoint equal to the full-speed delay at
@@ -114,6 +195,29 @@ type Scenario struct {
 	// PeakRate is the busiest-node injection rate at App speed 1.0
 	// (default 0.40 flits/node/cycle, the apps' calibrated peak).
 	PeakRate float64 `json:"peak_rate,omitempty"`
+	// TraceRef names a recorded injection-trace file (captured with
+	// WithTraceCapture and saved with Trace.Save) to replay instead of
+	// generating traffic. Replay is bit-identical to the capture run.
+	// Pattern, App and Source must be empty, and RMSD/DMSD need a pinned
+	// Calibration — the calibration search varies load, which a fixed
+	// trace ignores. The file is read when the scenario runs, not when
+	// it validates.
+	TraceRef string `json:"trace,omitempty"`
+	// Source layers a bursty generation process (MMPP or Pareto on-off)
+	// under the synthetic pattern; nil is the plain Bernoulli process.
+	// Sources combine with patterns only, not apps or traces.
+	Source *SourceSpec `json:"source,omitempty"`
+
+	// FaultyLinks lists directed mesh channels masked out of the fabric,
+	// each in the "from>to" wire form (node ids of adjacent routers).
+	// The network routes around them with a minimal fault-aware table
+	// that reduces exactly to dimension-ordered routing when the fault
+	// set is empty; o1turn routing cannot respect faults and is
+	// rejected. A fault set that disconnects the mesh fails at Run time.
+	FaultyLinks []string `json:"faulty_links,omitempty"`
+	// Islands are rectangular V/F islands running at reduced clock
+	// speed, layered under the global DVFS frequency.
+	Islands []Island `json:"islands,omitempty"`
 
 	// Load is the operating point: the injection rate in flits per node
 	// per node cycle for synthetic patterns, or the relative application
@@ -173,6 +277,10 @@ type Scenario struct {
 	// measured packet's lifecycle. It is a runtime attachment, not part
 	// of the wire form, and forces sweeps to run serially.
 	packetLog *PacketLog
+	// traceCapture, when attached with WithTraceCapture, records every
+	// generated packet as an injection-trace event. Like packetLog it is
+	// a runtime attachment that forces sweeps to run serially.
+	traceCapture *Trace
 }
 
 // Normalized returns the scenario with every unset field replaced by
@@ -212,11 +320,14 @@ func (s Scenario) normalized() Scenario {
 	if s.Mesh.Routing == "" {
 		s.Mesh.Routing = d.Routing
 	}
-	if s.Pattern == "" && s.App == "" {
+	if s.Pattern == "" && s.App == "" && s.TraceRef == "" {
 		s.Pattern = "uniform"
 	}
 	if s.App != "" && s.PeakRate == 0 {
 		s.PeakRate = apps.DefaultPeakRate
+	}
+	if s.Source != nil {
+		s.Source = s.Source.withDefaults()
 	}
 	if s.Load == 0 {
 		s.Load = 0.2 // the paper's reference operating point
@@ -253,8 +364,18 @@ func (s Scenario) Validate() error {
 		errs = append(errs, err)
 	}
 	switch {
+	case s.TraceRef != "":
+		if s.Pattern != "" || s.App != "" {
+			errs = append(errs, errors.New("nocsim: trace replay excludes patterns and apps"))
+		}
+		if s.Source != nil {
+			errs = append(errs, errors.New("nocsim: trace replay excludes bursty sources"))
+		}
+		if (s.Policy == RMSD || s.Policy == DMSD) && s.Calibration == nil {
+			errs = append(errs, errors.New("nocsim: trace scenarios cannot auto-calibrate (the saturation search varies load, which a fixed trace ignores); pin a calibration"))
+		}
 	case s.Pattern == "" && s.App == "":
-		errs = append(errs, errors.New("nocsim: scenario needs a pattern or an app"))
+		errs = append(errs, errors.New("nocsim: scenario needs a pattern, an app or a trace"))
 	case s.Pattern != "" && s.App != "":
 		errs = append(errs, errors.New("nocsim: scenario has both a pattern and an app"))
 	case s.Pattern != "":
@@ -270,6 +391,33 @@ func (s Scenario) Validate() error {
 		} else if s.Mesh.Width != app.Width || s.Mesh.Height != app.Height {
 			errs = append(errs, fmt.Errorf("nocsim: app %q is mapped on a %dx%d mesh, scenario has %dx%d",
 				s.App, app.Width, app.Height, s.Mesh.Width, s.Mesh.Height))
+		}
+	}
+	if sp := s.Source; sp != nil {
+		switch {
+		case sp.Kind == "":
+			errs = append(errs, errors.New(`nocsim: source needs a kind ("mmpp" or "pareto")`))
+		case s.App != "":
+			errs = append(errs, errors.New("nocsim: bursty sources combine with patterns only, not apps"))
+		default:
+			if err := sp.toTraffic().Validate(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if len(s.FaultyLinks) > 0 {
+		links, err := parseFaults(s.FaultyLinks)
+		if err != nil {
+			errs = append(errs, err)
+		} else if cfgOK {
+			if err := noc.ValidateFaults(cfg, links); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	}
+	if len(s.Islands) > 0 && cfgOK {
+		if err := noc.ValidateIslands(cfg, s.nocIslands()); err != nil {
+			errs = append(errs, err)
 		}
 	}
 	switch s.Policy {
@@ -326,6 +474,8 @@ func (s Scenario) toCore() (core.Scenario, error) {
 		Noc:           cfg,
 		Pattern:       s.Pattern,
 		PeakRate:      s.PeakRate,
+		Source:        s.Source.toTraffic(),
+		Islands:       s.nocIslands(),
 		FNode:         s.FNodeHz,
 		Range:         dvfs.Range{FMin: s.FMinHz, FMax: s.FMaxHz},
 		Seed:          s.Seed,
@@ -345,10 +495,52 @@ func (s Scenario) toCore() (core.Scenario, error) {
 		}
 		cs.App = &app
 	}
+	if len(s.FaultyLinks) > 0 {
+		faults, err := parseFaults(s.FaultyLinks)
+		if err != nil {
+			return core.Scenario{}, err
+		}
+		cs.Faults = faults
+	}
+	if s.TraceRef != "" {
+		tr, err := trace.LoadInjection(s.TraceRef)
+		if err != nil {
+			return core.Scenario{}, fmt.Errorf("nocsim: loading trace: %w", err)
+		}
+		cs.Trace = tr
+	}
 	if s.packetLog != nil {
 		cs.PacketLog = s.packetLog.log
 	}
+	if s.traceCapture != nil {
+		cs.TraceCapture = &s.traceCapture.inj
+	}
 	return cs, nil
+}
+
+// parseFaults converts the "from>to" wire form of the fault list.
+func parseFaults(refs []string) ([]noc.Link, error) {
+	links := make([]noc.Link, 0, len(refs))
+	for _, r := range refs {
+		l, err := noc.ParseLink(r)
+		if err != nil {
+			return nil, err
+		}
+		links = append(links, l)
+	}
+	return links, nil
+}
+
+// nocIslands converts the scenario's islands to the engine form.
+func (s Scenario) nocIslands() []noc.Island {
+	if len(s.Islands) == 0 {
+		return nil
+	}
+	out := make([]noc.Island, len(s.Islands))
+	for i, isl := range s.Islands {
+		out[i] = isl.toNoc()
+	}
+	return out
 }
 
 // defaultStepWorkers is the process-wide fallback for scenarios whose

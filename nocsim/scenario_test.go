@@ -34,6 +34,12 @@ func exampleScenarios(t *testing.T) map[string]Scenario {
 		"seeded":       {WithPattern("uniform"), WithLoad(0.2), WithSeed(77), WithWorkers(3), WithQuick()},
 		"slow-clock":   {WithPattern("uniform"), WithLoad(0.2), WithNodeClock(8e8), WithQuick()},
 		"narrow-range": {WithPattern("uniform"), WithLoad(0.2), WithFreqRange(5e8, 1e9), WithQuick()},
+		"mmpp":         {WithPattern("uniform"), WithLoad(0.2), WithMMPP(4, 64), WithQuick()},
+		"pareto":       {WithPattern("uniform"), WithLoad(0.15), WithParetoOnOff(3, 32, 1.5), WithQuick()},
+		"trace":        {WithTrace("testdata/trace.golden.json"), WithMesh(3, 3), WithQuick()},
+		"faulty":       {WithPattern("uniform"), WithLoad(0.1), WithFaultyLinks("6>7", "7>6"), WithQuick()},
+		"islands":      {WithPattern("uniform"), WithLoad(0.1), WithIslands(Island{X0: 0, Y0: 0, X1: 1, Y1: 1, Speed: 0.5}), WithQuick()},
+		"mesh6x3":      {WithPattern("uniform"), WithMesh(6, 3), WithLoad(0.2), WithQuick()},
 	}
 	out := make(map[string]Scenario, len(set))
 	for name, opts := range set {
@@ -108,6 +114,66 @@ func TestScenarioGoldenJSON(t *testing.T) {
 	}
 }
 
+// TestScenarioDiversityGoldenJSON pins the wire form of the scenario-
+// diversity fields (source, faulty links, islands, trace references) the
+// same way the baseline golden pins the original fields.
+func TestScenarioDiversityGoldenJSON(t *testing.T) {
+	s := MustNew(
+		WithPattern("uniform"),
+		WithLoad(0.2),
+		WithMMPP(4, 64),
+		WithFaultyLinks("6>7", "7>6"),
+		WithIslands(Island{X0: 0, Y0: 0, X1: 1, Y1: 4, Speed: 0.5}),
+		WithSeed(7),
+		WithQuick(),
+	)
+	got, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "diversity.golden.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("wire form drifted from %s (run with UPDATE_GOLDEN=1 to regenerate):\ngot:\n%swant:\n%s",
+			golden, got, want)
+	}
+}
+
+// TestOldManifestStillDecodes: a manifest written before the scenario-
+// diversity fields existed (the baseline golden file) must decode,
+// normalize and validate unchanged, with every new field at its zero
+// value — the backward-compatibility contract for stored manifests and
+// fleet jobs.
+func TestOldManifestStillDecodes(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "scenario.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatalf("old manifest no longer decodes: %v", err)
+	}
+	if s.TraceRef != "" || s.Source != nil || len(s.FaultyLinks) != 0 || len(s.Islands) != 0 {
+		t.Errorf("old manifest grew diversity fields: %+v", s)
+	}
+	n := s.Normalized()
+	if err := n.Validate(); err != nil {
+		t.Errorf("old manifest invalid after normalization: %v", err)
+	}
+	if n.Pattern != "uniform" || n.Policy != DMSD {
+		t.Errorf("old manifest lost its settings: pattern %q policy %q", n.Pattern, n.Policy)
+	}
+}
+
 // TestGridJSONRoundTrip: a Grid — the distributed-sweep job description —
 // must survive the wire exactly like a Scenario.
 func TestGridJSONRoundTrip(t *testing.T) {
@@ -147,6 +213,19 @@ func TestNewValidatesEagerly(t *testing.T) {
 		"bad routing":       {WithRouting(Routing("zigzag"))},
 		"app mesh mismatch": {WithApp("h264"), WithMesh(5, 5)},
 		"transpose non-sq":  {WithPattern("transpose"), WithMesh(4, 5)},
+		"empty trace ref":   {WithTrace("")},
+		"trace + pattern":   {WithTrace("t.json"), WithPattern("uniform")},
+		"trace + dvfs":      {WithTrace("t.json"), WithPolicy(RMSD)},
+		"trace + source":    {WithPattern("uniform"), WithMMPP(4, 64), WithTrace("t.json"), WithMMPP(4, 64)},
+		"source + app":      {WithApp("h264"), WithMMPP(4, 64)},
+		"low burst ratio":   {WithPattern("uniform"), WithMMPP(0.5, 64)},
+		"short burst":       {WithPattern("uniform"), WithMMPP(4, 0.25)},
+		"bad pareto alpha":  {WithPattern("uniform"), WithParetoOnOff(4, 64, 3)},
+		"bad fault form":    {WithFaultyLinks("1-2")},
+		"fault non-adj":     {WithFaultyLinks("0>7")},
+		"fault o1turn":      {WithRouting(RoutingO1Turn), WithFaultyLinks("0>1")},
+		"island outside":    {WithIslands(Island{X0: 0, Y0: 0, X1: 9, Y1: 9, Speed: 0.5})},
+		"island zero speed": {WithIslands(Island{X1: 1, Y1: 1})},
 	}
 	for name, opts := range cases {
 		if _, err := New(opts...); err == nil {
@@ -209,5 +288,32 @@ func TestNormalizedFillsDefaults(t *testing.T) {
 	}
 	if err := an.Validate(); err != nil {
 		t.Errorf("app-only scenario invalid after normalization: %v", err)
+	}
+
+	// A trace scenario must NOT inherit the "uniform" pattern default —
+	// trace replay and patterns are mutually exclusive.
+	var tr Scenario
+	if err := json.Unmarshal([]byte(`{"trace": "t.json"}`), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if n := tr.Normalized(); n.Pattern != "" {
+		t.Errorf("trace scenario normalized to pattern %q, want none", n.Pattern)
+	}
+
+	// A source spec that only names its kind gets the documented
+	// parameter defaults, without mutating the original spec.
+	var b Scenario
+	if err := json.Unmarshal([]byte(`{"pattern": "uniform", "source": {"kind": "pareto"}}`), &b); err != nil {
+		t.Fatal(err)
+	}
+	bn := b.Normalized()
+	if bn.Source.BurstRatio != 4 || bn.Source.BurstLen != 64 || bn.Source.ParetoAlpha != 1.5 {
+		t.Errorf("source defaults not filled: %+v", bn.Source)
+	}
+	if b.Source.BurstRatio != 0 {
+		t.Error("Normalized mutated the receiver's source spec")
+	}
+	if err := bn.Validate(); err != nil {
+		t.Errorf("defaulted source scenario invalid: %v", err)
 	}
 }

@@ -107,9 +107,10 @@ func Sweep(ctx context.Context, g Grid, opts ...Option) ([]Result, error) {
 		return nil, err
 	}
 	workers := g.Base.Workers
-	if g.Base.packetLog != nil {
-		// A shared packet log would interleave records across concurrent
-		// points; keep the trace coherent by running serially.
+	if g.Base.packetLog != nil || g.Base.traceCapture != nil {
+		// A shared packet log or trace sink would interleave records
+		// across concurrent points; keep the capture coherent by running
+		// serially.
 		workers = 1
 	}
 	results, err := exp.Map(ctx, workers, g.Len(),
